@@ -1,0 +1,34 @@
+# blocktri build / test / experiment targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench verify experiments experiments-quick clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/comm/ ./internal/prefix/ ./internal/core/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+verify:
+	$(GO) run ./cmd/blocktri-verify -trials 25
+
+experiments:
+	$(GO) run ./cmd/blocktri-bench -exp all -csv results
+
+experiments-quick:
+	$(GO) run ./cmd/blocktri-bench -exp all -quick
+
+clean:
+	rm -rf results transport.ardf

@@ -1,0 +1,242 @@
+// Package blocktri is the public API of the accelerated recursive doubling
+// library: parallel solvers for block tridiagonal systems of linear
+// equations, reproducing S. Seal, "An Accelerated Recursive Doubling
+// Algorithm for Block Tridiagonal Systems", IPDPS 2014.
+//
+// A block tridiagonal system has N block rows with M x M blocks:
+//
+//	L[i] x[i-1] + D[i] x[i] + U[i] x[i+1] = b[i],  i = 0..N-1
+//
+// Four solvers share the Solver interface:
+//
+//   - NewThomas: sequential block LU (the serial work-optimal baseline)
+//   - NewBCR: block cyclic reduction
+//   - NewRD: classic recursive doubling over a rank communicator
+//   - NewARD: the paper's accelerated recursive doubling, which factors
+//     the matrix-dependent prefix computation once and then solves each
+//     right-hand side with only O(M^2 (N/P + log P)) work — an O(R)
+//     improvement when R right-hand sides share one matrix.
+//
+// Quick start:
+//
+//	a := blocktri.NewAnisotropicDiffusion(64, 128, 0.01)
+//	world := blocktri.NewWorld(8)              // 8 communicating ranks
+//	solver := blocktri.NewARD(a, blocktri.Config{World: world})
+//	x, err := solver.Solve(b)                  // b is (N*M) x R stacked
+//
+// Numerical caveat: RD and ARD propagate the three-term block recurrence
+// through transfer-matrix prefix products, so their rounding error scales
+// with the growth of those products (reported as SolveStats.PrefixGrowth).
+// They are accurate on stable-recurrence workloads (transport sweeps,
+// strongly anisotropic diffusion, the Oscillatory family) and lose digits
+// exponentially on matrices whose recurrence modes grow — e.g. strongly
+// diagonally dominant systems such as an isotropic Laplacian; use Thomas
+// or BCR there. Check PrefixGrowth after a solve: error is roughly
+// PrefixGrowth times machine epsilon.
+//
+// The heavy lifting lives in the internal packages (internal/mat dense
+// kernels, internal/comm message-passing runtime, internal/prefix parallel
+// scans, internal/core solvers); this package re-exports the stable
+// surface.
+package blocktri
+
+import (
+	"io"
+	"math/rand"
+
+	iblocktri "blocktri/internal/blocktri"
+	"blocktri/internal/comm"
+	"blocktri/internal/core"
+	"blocktri/internal/costmodel"
+	"blocktri/internal/mat"
+	"blocktri/internal/prefix"
+)
+
+// Matrix is a block tridiagonal matrix of N block rows with M x M blocks.
+type Matrix = iblocktri.Matrix
+
+// DenseMatrix is a dense row-major matrix; stacked right-hand sides and
+// solutions are DenseMatrix values of shape (N*M) x R.
+type DenseMatrix = mat.Matrix
+
+// World is a set of communicating ranks (the in-process MPI stand-in).
+type World = comm.World
+
+// CommStats aggregates message counts, bytes and modeled network time.
+type CommStats = comm.Stats
+
+// Solver is the common solve interface; see the core package for details.
+type Solver = core.Solver
+
+// Factored marks solvers with a Factor/Solve split.
+type Factored = core.Factored
+
+// Config selects the communicator and scan schedule for RD and ARD.
+type Config = core.Config
+
+// SolveStats reports the cost of a solver's last operation.
+type SolveStats = core.SolveStats
+
+// Thomas, BCR, RD, ARD and Dense are the concrete solver types.
+type (
+	// Thomas is the sequential block Thomas solver.
+	Thomas = core.Thomas
+	// BCR is sequential block cyclic reduction.
+	BCR = core.BCR
+	// RD is classic recursive doubling.
+	RD = core.RD
+	// ARD is accelerated recursive doubling (the paper's contribution).
+	ARD = core.ARD
+	// Spike is the SPIKE partition method: the numerically stable
+	// factor/solve-split parallel baseline.
+	Spike = core.Spike
+	// PCR is distributed parallel cyclic reduction: stable, O(log N)
+	// span, O(M^3 N log N) work.
+	PCR = core.PCR
+	// Dense is the dense-LU reference solver.
+	Dense = core.Dense
+)
+
+// Schedule selects the cross-rank scan algorithm for RD.
+type Schedule = prefix.Schedule
+
+// Scan schedules.
+const (
+	KoggeStone = prefix.KoggeStone
+	BrentKung  = prefix.BrentKung
+	Chain      = prefix.Chain
+)
+
+// Error sentinels re-exported for errors.Is checks by callers.
+var (
+	// ErrShape reports a right-hand side whose shape does not match the
+	// system.
+	ErrShape = core.ErrShape
+	// ErrSingularSuper reports a singular super-diagonal block, which the
+	// recursive doubling formulation cannot handle (use a stable solver).
+	ErrSingularSuper = core.ErrSingularSuper
+	// ErrChunkTooSmall reports a SPIKE partition with fewer than two
+	// block rows per rank.
+	ErrChunkTooSmall = core.ErrChunkTooSmall
+)
+
+// NewWorld returns a communicator with p ranks.
+func NewWorld(p int) *World { return comm.NewWorld(p) }
+
+// New returns an all-zero block tridiagonal matrix with n block rows of
+// size m (corner blocks nil, all others allocated).
+func New(n, m int) *Matrix { return iblocktri.New(n, m) }
+
+// NewThomas returns the sequential block Thomas solver for a.
+func NewThomas(a *Matrix) *Thomas { return core.NewThomas(a) }
+
+// NewBCR returns the block cyclic reduction solver for a.
+func NewBCR(a *Matrix) *BCR { return core.NewBCR(a) }
+
+// NewRD returns the classic recursive doubling solver for a.
+func NewRD(a *Matrix, cfg Config) *RD { return core.NewRD(a, cfg) }
+
+// NewARD returns the accelerated recursive doubling solver for a.
+func NewARD(a *Matrix, cfg Config) *ARD { return core.NewARD(a, cfg) }
+
+// NewSpike returns the SPIKE partition solver for a (requires N >= 2P).
+func NewSpike(a *Matrix, cfg Config) *Spike { return core.NewSpike(a, cfg) }
+
+// NewPCR returns the distributed parallel cyclic reduction solver for a.
+func NewPCR(a *Matrix, cfg Config) *PCR { return core.NewPCR(a, cfg) }
+
+// Auto selects a solver automatically using the PrefixGrowth diagnostic.
+type Auto = core.Auto
+
+// AutoOptions tunes NewAuto's selection policy.
+type AutoOptions = core.AutoOptions
+
+// NewAuto returns a solver that picks ARD, SPIKE or Thomas based on the
+// matrix's measured recurrence growth and the partition constraints.
+func NewAuto(a *Matrix, cfg Config, opt AutoOptions) *Auto {
+	return core.NewAuto(a, cfg, opt)
+}
+
+// NewDense returns the dense LU reference solver for a (test scale only).
+func NewDense(a *Matrix) *Dense { return core.NewDense(a) }
+
+// NewDenseMatrix returns a zeroed r x c dense matrix.
+func NewDenseMatrix(r, c int) *DenseMatrix { return mat.New(r, c) }
+
+// NewPoisson2D returns the 5-point Laplacian on an nx x ny grid as a block
+// tridiagonal matrix with ny block rows of size nx.
+func NewPoisson2D(nx, ny int) *Matrix { return iblocktri.Poisson2D(nx, ny) }
+
+// NewConvectionDiffusion returns a non-symmetric convection-diffusion
+// operator on an nx x ny grid; |peclet| < 2.
+func NewConvectionDiffusion(nx, ny int, peclet float64) *Matrix {
+	return iblocktri.ConvectionDiffusion(nx, ny, peclet)
+}
+
+// NewAnisotropicDiffusion returns a strongly anisotropic diffusion
+// operator (-eps*u_xx - u_yy) on an nx x ny grid — the PDE family whose
+// line-to-line recurrence is stable enough for large-N recursive doubling.
+func NewAnisotropicDiffusion(nx, ny int, eps float64) *Matrix {
+	return iblocktri.AnisotropicDiffusion(nx, ny, eps)
+}
+
+// NewRandomDiagDominant returns a strictly diagonally dominant random
+// system (well conditioned for all solvers).
+func NewRandomDiagDominant(n, m int, rng *rand.Rand) *Matrix {
+	return iblocktri.RandomDiagDominant(n, m, rng)
+}
+
+// NewOscillatory returns a system whose propagation modes lie on the unit
+// circle — the stable-recurrence family suited to large-N recursive
+// doubling runs.
+func NewOscillatory(n, m int, rng *rand.Rand) *Matrix {
+	return iblocktri.Oscillatory(n, m, rng)
+}
+
+// NewBlockToeplitz returns a block Toeplitz tridiagonal system.
+func NewBlockToeplitz(n, m int, rng *rand.Rand) *Matrix {
+	return iblocktri.BlockToeplitz(n, m, rng)
+}
+
+// NewScalarTridiagonal builds the M=1 block system for a classic scalar
+// tridiagonal matrix (sub-diagonal, diagonal, super-diagonal).
+func NewScalarTridiagonal(lower, diag, upper []float64) *Matrix {
+	return iblocktri.FromScalarTridiagonal(lower, diag, upper)
+}
+
+// EstimateGrowth cheaply predicts the per-row growth rate of the
+// recursive doubling recurrence for a (see core.EstimateGrowth): rates
+// near 1 mean RD/ARD will be accurate; rates well above 1 mean their
+// error grows like rate^N and a stable solver should be used.
+func EstimateGrowth(a *Matrix, samples int) float64 {
+	return core.EstimateGrowth(a, samples)
+}
+
+// LoadFactor restores an ARD factorization previously written with
+// (*ARD).SaveFactor for the same matrix shape and world size, skipping
+// the O(M^3) factor phase entirely.
+func LoadFactor(a *Matrix, cfg Config, r io.Reader) (*ARD, error) {
+	return core.LoadFactor(a, cfg, r)
+}
+
+// RefineReport describes what iterative refinement achieved.
+type RefineReport = core.RefineReport
+
+// ResidualSolver is a solver usable with SolveRefined.
+type ResidualSolver = core.ResidualSolver
+
+// SolveRefined solves A*x = b and applies up to maxIters steps of
+// iterative refinement, extending the accuracy of the prefix-based
+// solvers whenever PrefixGrowth*eps is well below 1.
+func SolveRefined(s ResidualSolver, b *DenseMatrix, maxIters int) (*DenseMatrix, RefineReport, error) {
+	return core.SolveRefined(s, b, maxIters)
+}
+
+// CostParams identifies a configuration for the analytic cost model.
+type CostParams = costmodel.Params
+
+// PredictedSpeedup returns the modeled ARD-over-RD speedup for nrhs
+// sequential solves sharing one matrix.
+func PredictedSpeedup(p CostParams, nrhs int) float64 {
+	return costmodel.PredictedSpeedup(p, nrhs)
+}

@@ -1,0 +1,76 @@
+// Command blocktri-bench regenerates the experiment tables and figures of
+// the reproduction (E1..E13, see DESIGN.md for the index).
+//
+// Usage:
+//
+//	blocktri-bench -exp E1          # one experiment
+//	blocktri-bench -exp all         # the full suite
+//	blocktri-bench -exp E3 -quick   # shrunken sizes for a fast smoke run
+//	blocktri-bench -exp E1 -csv out # also write out/E1-*.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"blocktri/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID (E1..E13) or 'all'")
+	quick := flag.Bool("quick", false, "shrink problem sizes for a fast run")
+	csvDir := flag.String("csv", "", "directory to also write CSV tables into")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var toRun []harness.Experiment
+	if strings.EqualFold(*exp, "all") {
+		toRun = harness.Experiments()
+	} else {
+		e, ok := harness.Find(strings.ToUpper(*exp))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "blocktri-bench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		toRun = []harness.Experiment{e}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "blocktri-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("environment: %s\n", harness.Environment())
+	for _, e := range toRun {
+		fmt.Printf("\n########## %s: %s ##########\n", e.ID, e.Title)
+		tables := e.Run(*quick)
+		for i, t := range tables {
+			t.Render(os.Stdout)
+			if *csvDir != "" {
+				name := fmt.Sprintf("%s-%d.csv", e.ID, i)
+				f, err := os.Create(filepath.Join(*csvDir, name))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "blocktri-bench: %v\n", err)
+					os.Exit(1)
+				}
+				t.RenderCSV(f)
+				if err := f.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "blocktri-bench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}

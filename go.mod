@@ -1,0 +1,3 @@
+module blocktri
+
+go 1.22

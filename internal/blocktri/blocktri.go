@@ -1,0 +1,222 @@
+// Package blocktri defines the block tridiagonal matrix type shared by all
+// solvers, together with problem generators, dense conversion, residual
+// computation and binary serialization.
+//
+// A block tridiagonal system with N block rows and block size M is
+//
+//	L[i] x[i-1] + D[i] x[i] + U[i] x[i+1] = b[i],   i = 0..N-1
+//
+// with x[-1] = x[N] = 0 (so L[0] and U[N-1] are ignored and stored as nil).
+package blocktri
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"blocktri/internal/mat"
+)
+
+// ErrNotBlockSquare is returned when a block has the wrong shape.
+var ErrNotBlockSquare = errors.New("blocktri: blocks must all be M x M")
+
+// Matrix is a block tridiagonal matrix of N block rows with M x M blocks.
+//
+// Lower[0] and Upper[N-1] are nil; every other block must be non-nil and
+// M x M. The struct is exported field-by-field so solvers can address
+// blocks directly without copying.
+type Matrix struct {
+	N int // number of block rows
+	M int // block edge size
+
+	Lower []*mat.Matrix // Lower[i] = L_i, nil for i == 0
+	Diag  []*mat.Matrix // Diag[i]  = D_i
+	Upper []*mat.Matrix // Upper[i] = U_i, nil for i == N-1
+}
+
+// New returns a block tridiagonal matrix with all blocks allocated and
+// zeroed (except the unused corner blocks, which stay nil).
+func New(n, m int) *Matrix {
+	if n <= 0 || m <= 0 {
+		panic(fmt.Sprintf("blocktri: invalid dimensions N=%d M=%d", n, m))
+	}
+	a := &Matrix{
+		N:     n,
+		M:     m,
+		Lower: make([]*mat.Matrix, n),
+		Diag:  make([]*mat.Matrix, n),
+		Upper: make([]*mat.Matrix, n),
+	}
+	for i := 0; i < n; i++ {
+		a.Diag[i] = mat.New(m, m)
+		if i > 0 {
+			a.Lower[i] = mat.New(m, m)
+		}
+		if i < n-1 {
+			a.Upper[i] = mat.New(m, m)
+		}
+	}
+	return a
+}
+
+// Validate checks the structural invariants: correct slice lengths, nil
+// corner blocks, non-nil interior blocks, and M x M shapes throughout.
+func (a *Matrix) Validate() error {
+	if a.N <= 0 || a.M <= 0 {
+		return fmt.Errorf("blocktri: invalid dimensions N=%d M=%d", a.N, a.M)
+	}
+	if len(a.Lower) != a.N || len(a.Diag) != a.N || len(a.Upper) != a.N {
+		return fmt.Errorf("blocktri: band slice lengths %d/%d/%d != N=%d",
+			len(a.Lower), len(a.Diag), len(a.Upper), a.N)
+	}
+	check := func(b *mat.Matrix, band string, i int, wantNil bool) error {
+		if wantNil {
+			if b != nil {
+				return fmt.Errorf("blocktri: %s[%d] must be nil", band, i)
+			}
+			return nil
+		}
+		if b == nil {
+			return fmt.Errorf("blocktri: %s[%d] is nil", band, i)
+		}
+		if b.Rows != a.M || b.Cols != a.M {
+			return fmt.Errorf("blocktri: %s[%d] is %dx%d, want %dx%d: %w",
+				band, i, b.Rows, b.Cols, a.M, a.M, ErrNotBlockSquare)
+		}
+		return nil
+	}
+	for i := 0; i < a.N; i++ {
+		if err := check(a.Lower[i], "Lower", i, i == 0); err != nil {
+			return err
+		}
+		if err := check(a.Diag[i], "Diag", i, false); err != nil {
+			return err
+		}
+		if err := check(a.Upper[i], "Upper", i, i == a.N-1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of a.
+func (a *Matrix) Clone() *Matrix {
+	out := &Matrix{
+		N:     a.N,
+		M:     a.M,
+		Lower: make([]*mat.Matrix, a.N),
+		Diag:  make([]*mat.Matrix, a.N),
+		Upper: make([]*mat.Matrix, a.N),
+	}
+	for i := 0; i < a.N; i++ {
+		out.Diag[i] = a.Diag[i].Clone()
+		if a.Lower[i] != nil {
+			out.Lower[i] = a.Lower[i].Clone()
+		}
+		if a.Upper[i] != nil {
+			out.Upper[i] = a.Upper[i].Clone()
+		}
+	}
+	return out
+}
+
+// Dense expands a into an (N*M) x (N*M) dense matrix. Intended for
+// reference solves and testing at modest sizes.
+func (a *Matrix) Dense() *mat.Matrix {
+	n := a.N * a.M
+	out := mat.New(n, n)
+	for i := 0; i < a.N; i++ {
+		out.View(i*a.M, i*a.M, a.M, a.M).CopyFrom(a.Diag[i])
+		if i > 0 {
+			out.View(i*a.M, (i-1)*a.M, a.M, a.M).CopyFrom(a.Lower[i])
+		}
+		if i < a.N-1 {
+			out.View(i*a.M, (i+1)*a.M, a.M, a.M).CopyFrom(a.Upper[i])
+		}
+	}
+	return out
+}
+
+// MatVec computes y = A*x where x is (N*M) x R (R right-hand-side columns
+// stacked block-row-wise) and returns y with the same shape.
+func (a *Matrix) MatVec(x *mat.Matrix) *mat.Matrix {
+	if x.Rows != a.N*a.M {
+		panic(fmt.Sprintf("blocktri: MatVec rows %d != N*M %d", x.Rows, a.N*a.M))
+	}
+	y := mat.New(x.Rows, x.Cols)
+	for i := 0; i < a.N; i++ {
+		yi := y.View(i*a.M, 0, a.M, x.Cols)
+		xi := x.View(i*a.M, 0, a.M, x.Cols)
+		mat.MulAdd(yi, a.Diag[i], xi)
+		if i > 0 {
+			mat.MulAdd(yi, a.Lower[i], x.View((i-1)*a.M, 0, a.M, x.Cols))
+		}
+		if i < a.N-1 {
+			mat.MulAdd(yi, a.Upper[i], x.View((i+1)*a.M, 0, a.M, x.Cols))
+		}
+	}
+	return y
+}
+
+// Residual returns A*x - b for stacked multi-RHS x and b.
+func (a *Matrix) Residual(x, b *mat.Matrix) *mat.Matrix {
+	r := a.MatVec(x)
+	mat.Sub(r, r, b)
+	return r
+}
+
+// RelResidual returns ||A*x - b||_F / ||b||_F, the relative residual used
+// throughout the accuracy experiments. A zero b yields the absolute norm.
+func (a *Matrix) RelResidual(x, b *mat.Matrix) float64 {
+	num := mat.NormFrob(a.Residual(x, b))
+	den := mat.NormFrob(b)
+	if den == 0 {
+		return num
+	}
+	return num / den
+}
+
+// NormFrob returns the Frobenius norm of the block tridiagonal matrix.
+func (a *Matrix) NormFrob() float64 {
+	sum := 0.0
+	add := func(b *mat.Matrix) {
+		if b == nil {
+			return
+		}
+		f := mat.NormFrob(b)
+		sum += f * f
+	}
+	for i := 0; i < a.N; i++ {
+		add(a.Lower[i])
+		add(a.Diag[i])
+		add(a.Upper[i])
+	}
+	return math.Sqrt(sum)
+}
+
+// Equal reports exact elementwise equality of two block tridiagonal
+// matrices (including matching N and M).
+func (a *Matrix) Equal(b *Matrix) bool {
+	if a.N != b.N || a.M != b.M {
+		return false
+	}
+	eq := func(x, y *mat.Matrix) bool {
+		if (x == nil) != (y == nil) {
+			return false
+		}
+		return x == nil || x.Equal(y)
+	}
+	for i := 0; i < a.N; i++ {
+		if !eq(a.Lower[i], b.Lower[i]) || !eq(a.Diag[i], b.Diag[i]) || !eq(a.Upper[i], b.Upper[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomRHS returns a stacked (N*M) x R right-hand-side matrix with
+// entries uniform in [-1, 1).
+func (a *Matrix) RandomRHS(r int, rng *rand.Rand) *mat.Matrix {
+	return mat.Random(a.N*a.M, r, rng)
+}

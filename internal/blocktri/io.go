@@ -1,0 +1,128 @@
+package blocktri
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"blocktri/internal/mat"
+)
+
+// magic identifies the on-disk block tridiagonal format ("BTD1").
+const magic = 0x42544431
+
+// WriteTo serializes a in a compact little-endian binary format:
+// magic, N, M as uint64, then the blocks band by band (lower, diag, upper)
+// in block-row order, skipping the nil corner blocks. It returns the number
+// of bytes written.
+func (a *Matrix) WriteTo(w io.Writer) (int64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriter(w)
+	var n int64
+	writeU64 := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		k, err := bw.Write(buf[:])
+		n += int64(k)
+		return err
+	}
+	if err := writeU64(magic); err != nil {
+		return n, err
+	}
+	if err := writeU64(uint64(a.N)); err != nil {
+		return n, err
+	}
+	if err := writeU64(uint64(a.M)); err != nil {
+		return n, err
+	}
+	writeBlock := func(b *mat.Matrix) error {
+		for i := 0; i < b.Rows; i++ {
+			for j := 0; j < b.Cols; j++ {
+				if err := writeU64(math.Float64bits(b.At(i, j))); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for i := 0; i < a.N; i++ {
+		if i > 0 {
+			if err := writeBlock(a.Lower[i]); err != nil {
+				return n, err
+			}
+		}
+		if err := writeBlock(a.Diag[i]); err != nil {
+			return n, err
+		}
+		if i < a.N-1 {
+			if err := writeBlock(a.Upper[i]); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read deserializes a matrix previously written with WriteTo.
+func Read(r io.Reader) (*Matrix, error) {
+	br := bufio.NewReader(r)
+	readU64 := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	mg, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("blocktri: reading header: %w", err)
+	}
+	if mg != magic {
+		return nil, fmt.Errorf("blocktri: bad magic %#x", mg)
+	}
+	n64, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	m64, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	const maxDim = 1 << 24
+	if n64 == 0 || m64 == 0 || n64 > maxDim || m64 > maxDim {
+		return nil, fmt.Errorf("blocktri: implausible dimensions N=%d M=%d", n64, m64)
+	}
+	a := New(int(n64), int(m64))
+	readBlock := func(b *mat.Matrix) error {
+		for i := 0; i < b.Rows; i++ {
+			for j := 0; j < b.Cols; j++ {
+				v, err := readU64()
+				if err != nil {
+					return err
+				}
+				b.Set(i, j, math.Float64frombits(v))
+			}
+		}
+		return nil
+	}
+	for i := 0; i < a.N; i++ {
+		if i > 0 {
+			if err := readBlock(a.Lower[i]); err != nil {
+				return nil, err
+			}
+		}
+		if err := readBlock(a.Diag[i]); err != nil {
+			return nil, err
+		}
+		if i < a.N-1 {
+			if err := readBlock(a.Upper[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return a, nil
+}

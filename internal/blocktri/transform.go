@@ -1,0 +1,85 @@
+package blocktri
+
+import "blocktri/internal/mat"
+
+// Shifted returns alpha*I + beta*A as a new block tridiagonal matrix —
+// the operator-building primitive for implicit time stepping
+// ((I + dt*A) u_{t+1} = u_t) and spectral shifts (A - sigma*I).
+func (a *Matrix) Shifted(alpha, beta float64) *Matrix {
+	out := New(a.N, a.M)
+	scaleInto := func(dst, src *mat.Matrix) {
+		dst.CopyFrom(src)
+		mat.Scale(dst, beta)
+	}
+	for i := 0; i < a.N; i++ {
+		scaleInto(out.Diag[i], a.Diag[i])
+		for k := 0; k < a.M; k++ {
+			out.Diag[i].AddAt(k, k, alpha)
+		}
+		if i > 0 {
+			scaleInto(out.Lower[i], a.Lower[i])
+		}
+		if i < a.N-1 {
+			scaleInto(out.Upper[i], a.Upper[i])
+		}
+	}
+	return out
+}
+
+// Scale multiplies every block of a by s in place.
+func (a *Matrix) Scale(s float64) {
+	each := func(b *mat.Matrix) {
+		if b != nil {
+			mat.Scale(b, s)
+		}
+	}
+	for i := 0; i < a.N; i++ {
+		each(a.Lower[i])
+		each(a.Diag[i])
+		each(a.Upper[i])
+	}
+}
+
+// Transpose returns A^T as a new block tridiagonal matrix: diagonal
+// blocks are transposed in place, and the lower band becomes the
+// transposed upper band shifted by one block row (and vice versa).
+func (a *Matrix) Transpose() *Matrix {
+	out := New(a.N, a.M)
+	for i := 0; i < a.N; i++ {
+		mat.Transpose(out.Diag[i], a.Diag[i])
+		// A^T[i][i+1] = (A[i+1][i])^T: upper band from the lower band.
+		if i < a.N-1 {
+			mat.Transpose(out.Upper[i], a.Lower[i+1])
+		}
+		if i > 0 {
+			mat.Transpose(out.Lower[i], a.Upper[i-1])
+		}
+	}
+	return out
+}
+
+// IsSymmetric reports whether a equals its transpose within absolute
+// tolerance tol.
+func (a *Matrix) IsSymmetric(tol float64) bool {
+	for i := 0; i < a.N; i++ {
+		for r := 0; r < a.M; r++ {
+			for c := 0; c < a.M; c++ {
+				d := a.Diag[i].At(r, c) - a.Diag[i].At(c, r)
+				if d > tol || d < -tol {
+					return false
+				}
+			}
+		}
+		if i < a.N-1 {
+			for r := 0; r < a.M; r++ {
+				for c := 0; c < a.M; c++ {
+					d := a.Upper[i].At(r, c) - a.Lower[i+1].At(c, r)
+					if d > tol || d < -tol {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}

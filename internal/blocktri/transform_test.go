@@ -1,0 +1,108 @@
+package blocktri
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blocktri/internal/mat"
+)
+
+func TestShiftedMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := RandomDiagDominant(5, 3, rng)
+	s := a.Shifted(2.5, -0.5)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := a.Dense()
+	mat.Scale(want, -0.5)
+	for i := 0; i < want.Rows; i++ {
+		want.AddAt(i, i, 2.5)
+	}
+	if !s.Dense().EqualApprox(want, 1e-12) {
+		t.Fatal("Shifted dense mismatch")
+	}
+	// Original untouched.
+	if !a.Equal(RandomDiagDominant(5, 3, rand.New(rand.NewSource(21)))) {
+		t.Fatal("Shifted modified its receiver")
+	}
+}
+
+func TestShiftedIdentityAndZero(t *testing.T) {
+	a := Poisson2D(3, 4)
+	id := a.Shifted(1, 0) // pure identity
+	d := id.Dense()
+	if !d.EqualApprox(mat.Identity(12), 1e-15) {
+		t.Fatal("Shifted(1,0) should be the identity")
+	}
+	same := a.Shifted(0, 1)
+	if !same.Equal(a) {
+		t.Fatal("Shifted(0,1) should equal A")
+	}
+}
+
+func TestScaleInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := RandomDiagDominant(4, 2, rng)
+	want := a.Dense()
+	mat.Scale(want, 3)
+	a.Scale(3)
+	if !a.Dense().EqualApprox(want, 1e-12) {
+		t.Fatal("Scale mismatch")
+	}
+}
+
+func TestTransposeMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, dims := range [][2]int{{1, 2}, {2, 3}, {6, 2}, {4, 4}} {
+		a := RandomDiagDominant(dims[0], dims[1], rng)
+		at := a.Transpose()
+		if err := at.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		want := mat.New(a.N*a.M, a.N*a.M)
+		mat.Transpose(want, a.Dense())
+		if !at.Dense().EqualApprox(want, 1e-12) {
+			t.Fatalf("N=%d M=%d: transpose mismatch", dims[0], dims[1])
+		}
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	if !Poisson2D(4, 5).IsSymmetric(0) {
+		t.Fatal("Poisson should be symmetric")
+	}
+	if ConvectionDiffusion(4, 5, 0.8).IsSymmetric(1e-12) {
+		t.Fatal("convection-diffusion should not be symmetric")
+	}
+	rng := rand.New(rand.NewSource(24))
+	if !Oscillatory(6, 3, rng).IsSymmetric(0) {
+		t.Fatal("oscillatory family should be symmetric")
+	}
+}
+
+// Property: transpose is an involution and Shifted composes linearly.
+func TestTransformProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 1+rng.Intn(6), 1+rng.Intn(4)
+		a := RandomDiagDominant(n, m, rng)
+		if !a.Transpose().Transpose().Equal(a) {
+			return false
+		}
+		// (alpha I + beta A) x == alpha x + beta (A x).
+		alpha, beta := rng.NormFloat64(), rng.NormFloat64()
+		x := mat.Random(n*m, 2, rng)
+		left := a.Shifted(alpha, beta).MatVec(x)
+		right := a.MatVec(x)
+		mat.Scale(right, beta)
+		ax := x.Clone()
+		mat.Scale(ax, alpha)
+		mat.Add(right, right, ax)
+		return left.EqualApprox(right, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Substrate microbenchmarks for the message-passing runtime: the per-call
+// overheads here bound how fine-grained the solvers' communication can be.
+
+func BenchmarkSendRecv(b *testing.B) {
+	for _, words := range []int{1, 64, 4096} {
+		b.Run(fmt.Sprintf("words=%d", words), func(b *testing.B) {
+			w := NewWorld(2)
+			payload := make([]float64, words)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Run(func(c *Comm) {
+					if c.Rank() == 0 {
+						c.Send(1, 0, payload)
+					} else {
+						c.Recv(0, 0)
+					}
+				})
+			}
+			b.SetBytes(int64(8 * words))
+		})
+	}
+}
+
+func BenchmarkAllreduce(b *testing.B) {
+	for _, p := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			w := NewWorld(p)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Run(func(c *Comm) {
+					c.Allreduce([]float64{float64(c.Rank())}, OpSum)
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkExScan(b *testing.B) {
+	for _, p := range []int{4, 16} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			w := NewWorld(p)
+			payload := make([]float64, 256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Run(func(c *Comm) {
+					c.ExScan(payload, OpSum)
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkWorldSpawn(b *testing.B) {
+	// The fixed cost of one collective step: spawning and joining ranks.
+	for _, p := range []int{4, 32} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			w := NewWorld(p)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Run(func(c *Comm) {})
+			}
+		})
+	}
+}

@@ -1,0 +1,330 @@
+// Package comm implements an in-process message-passing runtime that stands
+// in for MPI in the paper's experiments: a World of P ranks, each executed
+// on its own goroutine, exchanging typed messages through matched
+// send/receive pairs, plus the collective operations the solvers need
+// (barrier, broadcast, reduce, allreduce, gather, allgather, exclusive
+// scan).
+//
+// Every rank accumulates communication statistics (message and byte counts)
+// and a simulated communication time under a configurable alpha-beta
+// (latency-bandwidth) cost model, so experiments can report both measured
+// wall-clock times (real goroutine parallelism up to GOMAXPROCS) and
+// modeled network costs for processor counts beyond the host's cores.
+package comm
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// cascadeMsg marks the secondary panics raised on ranks woken by abort.
+const cascadeMsg = "comm: world aborted (another rank panicked)"
+
+// CostModel is the classic alpha-beta model: sending an n-byte message
+// costs Alpha + Beta*n seconds of simulated network time on both endpoints.
+type CostModel struct {
+	Alpha float64 // per-message latency, seconds
+	Beta  float64 // per-byte transfer time, seconds
+}
+
+// DefaultCostModel approximates a commodity cluster interconnect:
+// 1 microsecond latency, 10 GB/s bandwidth.
+var DefaultCostModel = CostModel{Alpha: 1e-6, Beta: 1e-10}
+
+// MessageCost returns the modeled time to transfer n bytes.
+func (c CostModel) MessageCost(n int) float64 {
+	return c.Alpha + c.Beta*float64(n)
+}
+
+// Stats accumulates per-rank communication counters.
+type Stats struct {
+	MsgsSent  int64
+	BytesSent int64
+	MsgsRecv  int64
+	BytesRecv int64
+	// SimCommTime is the accumulated alpha-beta time in seconds this rank
+	// spent sending and receiving under the World's cost model.
+	SimCommTime float64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.MsgsSent += other.MsgsSent
+	s.BytesSent += other.BytesSent
+	s.MsgsRecv += other.MsgsRecv
+	s.BytesRecv += other.BytesRecv
+	s.SimCommTime += other.SimCommTime
+}
+
+type msgKey struct {
+	src, tag int
+}
+
+type message struct {
+	data  []float64
+	bytes int
+}
+
+// mailbox is the per-rank incoming message store with FIFO ordering per
+// (source, tag) pair.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  map[msgKey][]message
+	aborted bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{queues: make(map[msgKey][]message)}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(key msgKey, m message) {
+	mb.mu.Lock()
+	mb.queues[key] = append(mb.queues[key], m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+func (mb *mailbox) get(key msgKey) message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.queues[key]) == 0 {
+		if mb.aborted {
+			panic("comm: world aborted (another rank panicked)")
+		}
+		mb.cond.Wait()
+	}
+	q := mb.queues[key]
+	m := q[0]
+	if len(q) == 1 {
+		delete(mb.queues, key)
+	} else {
+		mb.queues[key] = q[1:]
+	}
+	return m
+}
+
+// abort wakes every blocked receiver so a panic on one rank cascades
+// instead of deadlocking the world.
+func (mb *mailbox) abort() {
+	mb.mu.Lock()
+	mb.aborted = true
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+func (mb *mailbox) clearAbort() {
+	mb.mu.Lock()
+	mb.aborted = false
+	mb.mu.Unlock()
+}
+
+// pending returns the number of undelivered messages (for leak checks).
+func (mb *mailbox) pending() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	n := 0
+	for _, q := range mb.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// World is a set of P communicating ranks.
+type World struct {
+	P     int
+	Model CostModel
+
+	boxes []*mailbox
+	stats []Stats
+	mu    sync.Mutex
+}
+
+// NewWorld returns a world of p ranks using the default cost model.
+func NewWorld(p int) *World {
+	if p <= 0 {
+		panic(fmt.Sprintf("comm: invalid world size %d", p))
+	}
+	w := &World{P: p, Model: DefaultCostModel,
+		boxes: make([]*mailbox, p), stats: make([]Stats, p)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Comm is one rank's endpoint in a World. A Comm must only be used from
+// the goroutine running that rank.
+type Comm struct {
+	world *World
+	rank  int
+	stats Stats
+}
+
+// Rank returns this endpoint's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.world.P }
+
+// Stats returns a copy of this rank's accumulated counters.
+func (c *Comm) Stats() Stats { return c.stats }
+
+// ResetStats zeroes this rank's counters.
+func (c *Comm) ResetStats() { c.stats = Stats{} }
+
+// Run executes body on p ranks concurrently and blocks until every rank
+// returns. A panic on any rank is re-raised on the caller (after all other
+// ranks finish or panic) with the rank identified. Per-rank stats are
+// retained on the World and can be collected with TotalStats.
+func (w *World) Run(body func(c *Comm)) {
+	// Reset any abort state left by a previous panicked Run so the world
+	// stays usable.
+	for _, mb := range w.boxes {
+		mb.clearAbort()
+	}
+	var wg sync.WaitGroup
+	panics := make([]any, w.P)
+	for r := 0; r < w.P; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					if s, ok := p.(string); ok && s == cascadeMsg {
+						panics[rank] = p
+					} else {
+						// Preserve the failing rank's stack; the re-panic
+						// in Run otherwise hides where it happened.
+						panics[rank] = fmt.Sprintf("%v\n%s", p, debug.Stack())
+					}
+					// Wake every rank blocked on a receive so the whole
+					// world unwinds instead of deadlocking.
+					for _, mb := range w.boxes {
+						mb.abort()
+					}
+				}
+			}()
+			c := &Comm{world: w, rank: rank}
+			body(c)
+			w.mu.Lock()
+			w.stats[rank].Add(c.stats)
+			w.mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	// Report the original panic, not the cascade panics it triggered on
+	// ranks that were blocked in Recv.
+	first, firstCascade := -1, -1
+	for r, p := range panics {
+		if p == nil {
+			continue
+		}
+		if s, ok := p.(string); ok && s == cascadeMsg {
+			if firstCascade == -1 {
+				firstCascade = r
+			}
+			continue
+		}
+		if first == -1 {
+			first = r
+		}
+	}
+	if first == -1 {
+		first = firstCascade
+	}
+	if first != -1 {
+		panic(fmt.Sprintf("comm: rank %d panicked: %v", first, panics[first]))
+	}
+}
+
+// TotalStats returns the sum of all ranks' counters accumulated by Run
+// calls since the last ResetTotals.
+func (w *World) TotalStats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var total Stats
+	for _, s := range w.stats {
+		total.Add(s)
+	}
+	return total
+}
+
+// MaxSimCommTime returns the largest per-rank simulated communication time,
+// the quantity that bounds a bulk-synchronous algorithm's modeled runtime.
+func (w *World) MaxSimCommTime() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	max := 0.0
+	for _, s := range w.stats {
+		if s.SimCommTime > max {
+			max = s.SimCommTime
+		}
+	}
+	return max
+}
+
+// ResetTotals zeroes the per-rank counters retained on the World.
+func (w *World) ResetTotals() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := range w.stats {
+		w.stats[i] = Stats{}
+	}
+}
+
+// Pending returns the number of sent-but-unreceived messages across all
+// ranks; a nonzero value after Run indicates a protocol bug.
+func (w *World) Pending() int {
+	n := 0
+	for _, mb := range w.boxes {
+		n += mb.pending()
+	}
+	return n
+}
+
+// Send delivers a copy of data to rank dst under the given tag. It never
+// blocks (buffering is unbounded); ordering is FIFO per (source, tag).
+// Sending to self is allowed.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	if dst < 0 || dst >= c.world.P {
+		panic(fmt.Sprintf("comm: send to invalid rank %d (P=%d)", dst, c.world.P))
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	nbytes := 8 * len(data)
+	c.world.boxes[dst].put(msgKey{src: c.rank, tag: tag}, message{data: cp, bytes: nbytes})
+	c.stats.MsgsSent++
+	c.stats.BytesSent += int64(nbytes)
+	c.stats.SimCommTime += c.world.Model.MessageCost(nbytes)
+}
+
+// Recv blocks until a message from rank src with the given tag arrives and
+// returns its payload.
+func (c *Comm) Recv(src, tag int) []float64 {
+	if src < 0 || src >= c.world.P {
+		panic(fmt.Sprintf("comm: recv from invalid rank %d (P=%d)", src, c.world.P))
+	}
+	m := c.world.boxes[c.rank].get(msgKey{src: src, tag: tag})
+	c.stats.MsgsRecv++
+	c.stats.BytesRecv += int64(m.bytes)
+	c.stats.SimCommTime += c.world.Model.MessageCost(m.bytes)
+	return m.data
+}
+
+// SendRecv sends sendData to dst and receives from src under the same tag,
+// without deadlock regardless of ordering (sends never block).
+func (c *Comm) SendRecv(dst int, sendData []float64, src, tag int) []float64 {
+	c.Send(dst, tag, sendData)
+	return c.Recv(src, tag)
+}
+
+// Exchange performs the pairwise exchange at the heart of recursive
+// doubling: both ranks send their payload to each other under tag and
+// return the partner's payload.
+func (c *Comm) Exchange(partner, tag int, data []float64) []float64 {
+	return c.SendRecv(partner, data, partner, tag)
+}

@@ -1,0 +1,85 @@
+package comm
+
+import "blocktri/internal/mat"
+
+// Matrix payload helpers. A matrix is shipped as [rows, cols, row-major
+// data...]; the two dimension words count toward the message size, matching
+// the header cost a real MPI datatype would carry.
+
+// EncodeMatrix flattens m into a payload slice understood by DecodeMatrix.
+func EncodeMatrix(m *mat.Matrix) []float64 {
+	out := make([]float64, 2+m.Rows*m.Cols)
+	out[0], out[1] = float64(m.Rows), float64(m.Cols)
+	k := 2
+	for i := 0; i < m.Rows; i++ {
+		copy(out[k:k+m.Cols], m.Data[i*m.Stride:i*m.Stride+m.Cols])
+		k += m.Cols
+	}
+	return out
+}
+
+// DecodeMatrix reconstructs a matrix from an EncodeMatrix payload.
+func DecodeMatrix(p []float64) *mat.Matrix {
+	r, c := int(p[0]), int(p[1])
+	if len(p) != 2+r*c {
+		panic("comm: malformed matrix payload")
+	}
+	return mat.NewFromSlice(r, c, p[2:])
+}
+
+// EncodeMatrices concatenates several matrices into one payload, so a
+// logical multi-part message costs a single alpha (latency) charge, the
+// way the solvers' bundled exchanges would be implemented over MPI.
+func EncodeMatrices(ms ...*mat.Matrix) []float64 {
+	total := 1
+	for _, m := range ms {
+		total += 2 + m.Rows*m.Cols
+	}
+	out := make([]float64, 0, total)
+	out = append(out, float64(len(ms)))
+	for _, m := range ms {
+		out = append(out, EncodeMatrix(m)...)
+	}
+	return out
+}
+
+// DecodeMatrices splits a payload produced by EncodeMatrices.
+func DecodeMatrices(p []float64) []*mat.Matrix {
+	n := int(p[0])
+	out := make([]*mat.Matrix, 0, n)
+	k := 1
+	for i := 0; i < n; i++ {
+		r, c := int(p[k]), int(p[k+1])
+		out = append(out, DecodeMatrix(p[k:k+2+r*c]))
+		k += 2 + r*c
+	}
+	if k != len(p) {
+		panic("comm: malformed multi-matrix payload")
+	}
+	return out
+}
+
+// SendMatrix ships m to dst under tag.
+func (c *Comm) SendMatrix(dst, tag int, m *mat.Matrix) {
+	c.Send(dst, tag, EncodeMatrix(m))
+}
+
+// RecvMatrix receives a matrix from src under tag.
+func (c *Comm) RecvMatrix(src, tag int) *mat.Matrix {
+	return DecodeMatrix(c.Recv(src, tag))
+}
+
+// ExchangeMatrices performs a pairwise exchange of a bundle of matrices
+// with partner and returns the partner's bundle.
+func (c *Comm) ExchangeMatrices(partner, tag int, ms ...*mat.Matrix) []*mat.Matrix {
+	return DecodeMatrices(c.Exchange(partner, tag, EncodeMatrices(ms...)))
+}
+
+// BcastMatrix broadcasts root's matrix to all ranks.
+func (c *Comm) BcastMatrix(root int, m *mat.Matrix) *mat.Matrix {
+	var payload []float64
+	if c.Rank() == root {
+		payload = EncodeMatrix(m)
+	}
+	return DecodeMatrix(c.Bcast(root, payload))
+}

@@ -1,0 +1,130 @@
+package comm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blocktri/internal/mat"
+)
+
+func TestEncodeDecodeMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := mat.Random(3, 5, rng)
+	got := DecodeMatrix(EncodeMatrix(m))
+	if !got.Equal(m) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestEncodeMatrixFromView(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	big := mat.Random(6, 6, rng)
+	v := big.View(1, 2, 3, 3)
+	got := DecodeMatrix(EncodeMatrix(v))
+	if !got.Equal(v.Clone()) {
+		t.Fatal("view encode mismatch")
+	}
+}
+
+func TestDecodeMatrixRejectsMalformed(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DecodeMatrix([]float64{2, 2, 1, 2, 3}) // says 2x2 but only 3 values
+}
+
+func TestEncodeDecodeMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, b, c := mat.Random(2, 2, rng), mat.Random(1, 4, rng), mat.Random(3, 1, rng)
+	out := DecodeMatrices(EncodeMatrices(a, b, c))
+	if len(out) != 3 || !out[0].Equal(a) || !out[1].Equal(b) || !out[2].Equal(c) {
+		t.Fatal("multi-matrix round trip mismatch")
+	}
+}
+
+func TestDecodeMatricesRejectsTrailing(t *testing.T) {
+	p := EncodeMatrices(mat.Identity(2))
+	p = append(p, 99)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DecodeMatrices(p)
+}
+
+func TestSendRecvMatrixAcrossRanks(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := mat.Random(4, 4, rng)
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.SendMatrix(1, 11, m)
+		} else {
+			got := c.RecvMatrix(0, 11)
+			if !got.Equal(m) {
+				panic("matrix corrupted in transit")
+			}
+		}
+	})
+}
+
+func TestExchangeMatrices(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		mine := mat.Identity(2)
+		mat.Scale(mine, float64(c.Rank()+1))
+		got := c.ExchangeMatrices(c.Rank()^1, 12, mine, mine)
+		want := mat.Identity(2)
+		mat.Scale(want, float64((c.Rank()^1)+1))
+		if len(got) != 2 || !got[0].Equal(want) || !got[1].Equal(want) {
+			panic("exchange bundle wrong")
+		}
+	})
+}
+
+func TestBcastMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := mat.Random(3, 3, rng)
+	for _, p := range []int{1, 3, 4} {
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			var in *mat.Matrix
+			if c.Rank() == 1%p {
+				in = m
+			}
+			got := c.BcastMatrix(1%p, in)
+			if !got.Equal(m) {
+				panic("bcast matrix wrong")
+			}
+		})
+	}
+}
+
+// Property: encode/decode of random bundles round-trips exactly.
+func TestEncodeMatricesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		ms := make([]*mat.Matrix, n)
+		for i := range ms {
+			ms[i] = mat.Random(1+r.Intn(6), 1+r.Intn(6), r)
+		}
+		out := DecodeMatrices(EncodeMatrices(ms...))
+		if len(out) != n {
+			return false
+		}
+		for i := range ms {
+			if !out[i].Equal(ms[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+package comm
+
+import "fmt"
+
+// Request represents an outstanding non-blocking receive. Sends in this
+// runtime are always asynchronous (buffering is unbounded), so ISend
+// completes immediately; IRecv returns a Request whose Wait blocks until
+// the matching message arrives.
+type Request struct {
+	c    *Comm
+	src  int
+	tag  int
+	done bool
+	data []float64
+}
+
+// ISend is the non-blocking send. In this runtime Send already never
+// blocks, so ISend is Send; it exists so ported MPI code keeps its shape.
+func (c *Comm) ISend(dst, tag int, data []float64) {
+	c.Send(dst, tag, data)
+}
+
+// IRecv posts a non-blocking receive. The message is claimed from the
+// mailbox at Wait time; posting order between requests with the same
+// (source, tag) determines matching order only through their Wait order,
+// so callers should Wait in posting order for deterministic matching
+// (the usual MPI guidance).
+func (c *Comm) IRecv(src, tag int) *Request {
+	if src < 0 || src >= c.world.P {
+		panic(fmt.Sprintf("comm: irecv from invalid rank %d (P=%d)", src, c.world.P))
+	}
+	return &Request{c: c, src: src, tag: tag}
+}
+
+// Wait blocks until the request's message is available and returns its
+// payload. Calling Wait twice returns the same payload.
+func (r *Request) Wait() []float64 {
+	if !r.done {
+		r.data = r.c.Recv(r.src, r.tag)
+		r.done = true
+	}
+	return r.data
+}
+
+// Test reports whether the message has already arrived, claiming it if
+// so. After Test returns true, Wait returns immediately.
+func (r *Request) Test() bool {
+	if r.done {
+		return true
+	}
+	mb := r.c.world.boxes[r.c.rank]
+	mb.mu.Lock()
+	avail := len(mb.queues[msgKey{src: r.src, tag: r.tag}]) > 0
+	mb.mu.Unlock()
+	if avail {
+		r.Wait()
+	}
+	return r.done
+}
+
+// WaitAll waits on every request in order.
+func WaitAll(reqs ...*Request) [][]float64 {
+	out := make([][]float64, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.Wait()
+	}
+	return out
+}
+
+// Alltoall exchanges personalized data: rank r sends data[q] to rank q
+// and returns the slice of pieces received, indexed by source rank.
+// Payload lengths may differ per pair.
+func (c *Comm) Alltoall(data [][]float64) [][]float64 {
+	p := c.Size()
+	if len(data) != p {
+		panic(fmt.Sprintf("comm: Alltoall needs %d pieces, got %d", p, len(data)))
+	}
+	out := make([][]float64, p)
+	for q := 0; q < p; q++ {
+		c.Send(q, tagAlltoall, data[q])
+	}
+	for q := 0; q < p; q++ {
+		out[q] = c.Recv(q, tagAlltoall)
+	}
+	return out
+}
+
+// ReduceScatter reduces data elementwise across all ranks with op, then
+// scatters the result: rank r receives the chunk counts[r] long starting
+// at offset sum(counts[:r]). len(data) must equal sum(counts) on every
+// rank. Implemented as Reduce at rank 0 followed by a scatter, preserving
+// the ascending-rank combine order.
+func (c *Comm) ReduceScatter(data []float64, counts []int, op ReduceOp) []float64 {
+	p := c.Size()
+	if len(counts) != p {
+		panic(fmt.Sprintf("comm: ReduceScatter needs %d counts, got %d", p, len(counts)))
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != len(data) {
+		panic(fmt.Sprintf("comm: ReduceScatter counts sum %d != len(data) %d", total, len(data)))
+	}
+	full := c.Reduce(0, data, op)
+	if c.Rank() == 0 {
+		off := 0
+		for q := 0; q < p; q++ {
+			if q == 0 {
+				off += counts[0]
+				continue
+			}
+			c.Send(q, tagReduceScatter, full[off:off+counts[q]])
+			off += counts[q]
+		}
+		return full[:counts[0]]
+	}
+	return c.Recv(0, tagReduceScatter)
+}
+
+// Scatter distributes root's pieces: rank q receives pieces[q]. Non-root
+// ranks pass nil.
+func (c *Comm) Scatter(root int, pieces [][]float64) []float64 {
+	p := c.Size()
+	if c.Rank() == root {
+		if len(pieces) != p {
+			panic(fmt.Sprintf("comm: Scatter needs %d pieces, got %d", p, len(pieces)))
+		}
+		for q := 0; q < p; q++ {
+			if q == root {
+				continue
+			}
+			c.Send(q, tagScatter, pieces[q])
+		}
+		return pieces[root]
+	}
+	return c.Recv(root, tagScatter)
+}
+
+const (
+	tagAlltoall = 1<<30 + 100 + iota
+	tagReduceScatter
+	tagScatter
+)

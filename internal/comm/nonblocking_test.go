@@ -1,0 +1,184 @@
+package comm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestISendIRecvWait(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.ISend(1, 4, []float64{1, 2})
+			c.ISend(1, 4, []float64{3})
+		} else {
+			r1 := c.IRecv(0, 4)
+			r2 := c.IRecv(0, 4)
+			// Wait in posting order: FIFO matching.
+			if got := r1.Wait(); len(got) != 2 || got[0] != 1 {
+				panic("first message wrong")
+			}
+			if got := r2.Wait(); len(got) != 1 || got[0] != 3 {
+				panic("second message wrong")
+			}
+			// Repeated Wait returns the same payload.
+			if got := r1.Wait(); got[1] != 2 {
+				panic("Wait not idempotent")
+			}
+		}
+	})
+}
+
+func TestRequestTest(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			req := c.IRecv(1, 5)
+			if req.Test() {
+				// Plausible only if rank 1 already ran; accept either, but
+				// after a successful Test, Wait must not block.
+				_ = req.Wait()
+				return
+			}
+			for !req.Test() {
+				time.Sleep(time.Millisecond)
+			}
+			if got := req.Wait(); got[0] != 9 {
+				panic("Test-claimed payload wrong")
+			}
+		} else {
+			time.Sleep(5 * time.Millisecond)
+			c.Send(0, 5, []float64{9})
+		}
+	})
+}
+
+func TestIRecvInvalidRank(t *testing.T) {
+	w := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.IRecv(7, 0)
+		}
+	})
+}
+
+func TestWaitAll(t *testing.T) {
+	w := NewWorld(3)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			r1 := c.IRecv(1, 6)
+			r2 := c.IRecv(2, 6)
+			got := WaitAll(r1, r2)
+			if got[0][0] != 1 || got[1][0] != 2 {
+				panic("WaitAll payloads wrong")
+			}
+		} else {
+			c.Send(0, 6, []float64{float64(c.Rank())})
+		}
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5} {
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			// Rank r sends [r, q] to rank q, with length r+1 padding.
+			pieces := make([][]float64, p)
+			for q := 0; q < p; q++ {
+				pieces[q] = make([]float64, c.Rank()+1)
+				pieces[q][0] = float64(c.Rank()*10 + q)
+			}
+			got := c.Alltoall(pieces)
+			for q := 0; q < p; q++ {
+				if len(got[q]) != q+1 || got[q][0] != float64(q*10+c.Rank()) {
+					panic("alltoall piece wrong")
+				}
+			}
+		})
+		if w.Pending() != 0 {
+			t.Fatalf("P=%d: %d leaked messages", p, w.Pending())
+		}
+	}
+}
+
+func TestAlltoallWrongPieceCount(t *testing.T) {
+	w := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.Run(func(c *Comm) {
+		c.Alltoall(make([][]float64, 1))
+	})
+}
+
+func TestReduceScatter(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 5} {
+		w := NewWorld(p)
+		counts := make([]int, p)
+		total := 0
+		for q := range counts {
+			counts[q] = q + 1
+			total += q + 1
+		}
+		w.Run(func(c *Comm) {
+			data := make([]float64, total)
+			for i := range data {
+				data[i] = float64(i) // every rank contributes the same
+			}
+			got := c.ReduceScatter(data, counts, OpSum)
+			if len(got) != c.Rank()+1 {
+				panic("reduce-scatter chunk length wrong")
+			}
+			// Offset of this rank's chunk.
+			off := 0
+			for q := 0; q < c.Rank(); q++ {
+				off += counts[q]
+			}
+			for i, v := range got {
+				if v != float64(p)*float64(off+i) {
+					panic("reduce-scatter value wrong")
+				}
+			}
+		})
+	}
+}
+
+func TestReduceScatterBadCounts(t *testing.T) {
+	w := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.Run(func(c *Comm) {
+		c.ReduceScatter([]float64{1, 2, 3}, []int{1, 1}, OpSum)
+	})
+}
+
+func TestScatter(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		for root := 0; root < p; root++ {
+			w := NewWorld(p)
+			w.Run(func(c *Comm) {
+				var pieces [][]float64
+				if c.Rank() == root {
+					pieces = make([][]float64, p)
+					for q := range pieces {
+						pieces[q] = []float64{float64(q * 7)}
+					}
+				}
+				got := c.Scatter(root, pieces)
+				if len(got) != 1 || got[0] != float64(c.Rank()*7) {
+					panic("scatter piece wrong")
+				}
+			})
+		}
+	}
+}

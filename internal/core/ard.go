@@ -1,0 +1,417 @@
+package core
+
+import (
+	"time"
+
+	"blocktri/internal/blocktri"
+	"blocktri/internal/comm"
+	"blocktri/internal/mat"
+	"blocktri/internal/prefix"
+)
+
+// ARD is the accelerated recursive doubling solver — the paper's
+// contribution. It splits the computation that classic RD repeats on every
+// solve into:
+//
+//   - Factor, once per matrix: build the 2M x 2M transfer matrices, run
+//     the local and cross-rank scans on their matrix halves, and store
+//     every intermediate the right-hand-side path will need — the per-rank
+//     local total S, the per-round Kogge-Stone partial products, the final
+//     exclusive prefix S, the LU factors of each super-diagonal block, and
+//     the factored M x M reduced system. Cost O(M^3 (N/P + log P)).
+//
+//   - Solve, per right-hand side (batch): only the vector halves move:
+//     building F costs O(M^2 R) per block row, every scan combine is a
+//     stored-matrix times vector-block product, and each Kogge-Stone round
+//     exchanges 2M*R words instead of (2M)^2 + 2M*R. Cost
+//     O(M^2 R (N/P + log P)).
+//
+// Solving with R right-hand sides therefore costs one M^3 term plus R
+// M^2 terms, versus RD's R separate M^3 terms — the O(R) improvement the
+// paper reports (saturating at O(M) once R grows past the block size).
+//
+// ARD's solve phase replays the factor phase's Kogge-Stone schedule
+// exactly, so given the same inputs ARD(Factor+Solve) and RD produce
+// bit-identical solutions.
+type ARD struct {
+	a     *blocktri.Matrix
+	world *comm.World
+	sched prefix.Schedule
+
+	factored    bool
+	rk          []*ardRankState // per-rank factor state
+	luRm        *mat.LU         // factored reduced system (rank P-1)
+	growth      float64         // prefix growth diagnostic from Factor
+	factorStats SolveStats
+	solveStats  SolveStats
+}
+
+// ardRound records one Kogge-Stone round's entry values from the factor
+// phase, consumed by the solve-phase replay.
+type ardRound struct {
+	dist int
+	preS *mat.Matrix // exclusive-prefix S at round entry (nil = identity)
+	accS *mat.Matrix // inclusive-aggregate S at round entry (nil = identity)
+}
+
+// ardRankState is everything one rank stores between Factor and Solve.
+type ardRankState struct {
+	lo, hi, first int
+	elems         []element   // T matrices + U factorizations
+	localTotalS   *mat.Matrix // S of the local reduce (nil if no elements)
+	rounds        []ardRound
+	piS           *mat.Matrix // final exclusive cross-rank prefix S (nil = identity)
+}
+
+// NewARD returns an accelerated recursive doubling solver for a over
+// cfg's world. cfg.Schedule selects the cross-rank scan: KoggeStone (the
+// default, the paper's recursive doubling pattern) or Chain (the
+// sequential-pipeline ablation baseline); BrentKung is not replayable in
+// the solve phase and falls back to KoggeStone.
+func NewARD(a *blocktri.Matrix, cfg Config) *ARD {
+	sched := cfg.Schedule
+	if sched != prefix.Chain {
+		sched = prefix.KoggeStone
+	}
+	return &ARD{a: a, world: cfg.world(), sched: sched}
+}
+
+// Name implements Solver.
+func (s *ARD) Name() string { return "accelerated-recursive-doubling" }
+
+// Factored implements Factored.
+func (s *ARD) Factored() bool { return s.factored }
+
+// FactorStats returns the cost of the Factor call.
+func (s *ARD) FactorStats() SolveStats { return s.factorStats }
+
+// Stats returns the cost of the most recent Solve call.
+func (s *ARD) Stats() SolveStats { return s.solveStats }
+
+// Factor implements Factored: the once-per-matrix O(M^3 (N/P + log P))
+// precomputation.
+func (s *ARD) Factor() error {
+	if s.factored {
+		return nil
+	}
+	start := time.Now()
+	a := s.a
+	if a.N == 1 {
+		lu, err := mat.Factor(a.Diag[0])
+		if err != nil {
+			return err
+		}
+		s.luRm = lu
+		s.factored = true
+		s.factorStats = SolveStats{Flops: luFlops(a.M), MaxRankFlops: luFlops(a.M), Wall: time.Since(start)}
+		return nil
+	}
+	w := s.world
+	w.ResetTotals()
+	s.rk = make([]*ardRankState, w.P)
+	perRank := make([]int64, w.P)
+	var es errSlot
+	w.Run(func(c *comm.Comm) {
+		perRank[c.Rank()] = s.factorRank(c, &es)
+	})
+	if err := es.get(); err != nil {
+		s.rk = nil
+		return err
+	}
+	s.factored = true
+	s.factorStats = SolveStats{
+		Comm:         w.TotalStats(),
+		MaxSimComm:   w.MaxSimCommTime(),
+		Wall:         time.Since(start),
+		PrefixGrowth: s.growth,
+		StoredBytes:  s.storedBytes(),
+	}
+	s.factorStats.mergeRankFlops(perRank)
+	return nil
+}
+
+// storedBytes totals the factor-phase state retained across solves: the
+// per-element transfer matrices and U factorizations, the local scan
+// totals, the per-round Kogge-Stone snapshots, the exclusive prefixes,
+// and the reduced-system factorization.
+func (s *ARD) storedBytes() int64 {
+	var total int64
+	m := int64(s.a.M)
+	for _, st := range s.rk {
+		if st == nil {
+			continue
+		}
+		for _, e := range st.elems {
+			total += matBytes(e.t)
+			total += 8*m*m + 8*m // LU factors + pivots of U
+		}
+		total += matBytes(st.localTotalS) + matBytes(st.piS)
+		for _, rd := range st.rounds {
+			total += matBytes(rd.preS) + matBytes(rd.accS)
+		}
+	}
+	if s.luRm != nil {
+		total += 8*m*m + 8*m
+	}
+	return total
+}
+
+func (s *ARD) factorRank(c *comm.Comm, es *errSlot) int64 {
+	a := s.a
+	r, p := c.Rank(), c.Size()
+	m := a.M
+	lo, hi := PartRange(a.N, p, r)
+	first := lo
+	if first < 1 {
+		first = 1
+	}
+	st := &ardRankState{lo: lo, hi: hi, first: first}
+	s.rk[r] = st
+	var fc flopCounter
+
+	// Local elements and the matrix-only local scan total.
+	var buildErr error
+	for i := first; i < hi; i++ {
+		e, err := buildElement(a, i)
+		if err != nil {
+			buildErr = err
+			break
+		}
+		fc.add(luFlops(m) + luSolveFlops(m, m))
+		if a.Lower[i-1] != nil {
+			fc.add(luSolveFlops(m, m))
+		}
+		st.elems = append(st.elems, e)
+		if st.localTotalS != nil {
+			fc.add(gemmFlops(2*m, 2*m, 2*m))
+		}
+		st.localTotalS = composeS(st.localTotalS, e.t)
+	}
+	if buildErr != nil {
+		es.set(buildErr)
+	}
+	if !agreeOK(c, buildErr == nil) {
+		return fc.n
+	}
+
+	// Cross-rank exclusive scan on S. The Kogge-Stone path records the
+	// entry values of every round so Solve can replay the same combines on
+	// the vector halves; the chain path needs no per-round state (the
+	// solve replay recombines with the stored local total only).
+	if s.sched == prefix.Chain {
+		var preS *mat.Matrix
+		if r > 0 {
+			preS = decodeSMat(c.Recv(r-1, tagARDFactorScan))
+		}
+		if r < p-1 {
+			inc := st.localTotalS
+			if preS != nil && st.localTotalS != nil {
+				fc.add(gemmFlops(2*m, 2*m, 2*m))
+			}
+			inc = composeS(preS, inc)
+			c.Send(r+1, tagARDFactorScan, encodeSMat(inc))
+		}
+		st.piS = preS
+	} else {
+		accS := st.localTotalS
+		var preS *mat.Matrix
+		for dist := 1; dist < p; dist <<= 1 {
+			st.rounds = append(st.rounds, ardRound{dist: dist, preS: preS, accS: accS})
+			if r+dist < p {
+				c.Send(r+dist, tagARDFactorScan, encodeSMat(accS))
+			}
+			if r-dist >= 0 {
+				recvS := decodeSMat(c.Recv(r-dist, tagARDFactorScan))
+				if recvS != nil {
+					if preS != nil {
+						fc.add(gemmFlops(2*m, 2*m, 2*m))
+					}
+					preS = composeS(recvS, preS)
+					if accS != nil {
+						fc.add(gemmFlops(2*m, 2*m, 2*m))
+					}
+					accS = composeS(recvS, accS)
+				}
+			}
+		}
+		st.piS = preS
+	}
+
+	// Reduced system on the last rank: factor it once.
+	factorOK := true
+	if r == p-1 {
+		totalS := composeS(st.piS, st.localTotalS)
+		if st.piS != nil {
+			fc.add(gemmFlops(2*m, 2*m, 2*m))
+		}
+		s.growth = mat.NormFrob(totalS)
+		rm := reducedMatrix(a, totalS)
+		fc.add(2 * gemmFlops(m, m, m))
+		lu, err := mat.Factor(rm)
+		if err != nil {
+			es.set(err)
+			factorOK = false
+		} else {
+			fc.add(luFlops(m))
+			s.luRm = lu
+		}
+	}
+	if !agreeOK(c, factorOK) {
+		return fc.n
+	}
+	return fc.n
+}
+
+// Solve implements Solver: the per-right-hand-side O(M^2 R (N/P + log P))
+// phase. It factors on first use.
+func (s *ARD) Solve(b *mat.Matrix) (*mat.Matrix, error) {
+	if err := checkRHS(s.a, b); err != nil {
+		return nil, err
+	}
+	if err := s.Factor(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	a := s.a
+	if a.N == 1 {
+		x := s.luRm.Solve(b)
+		s.solveStats = SolveStats{Flops: luSolveFlops(a.M, b.Cols), MaxRankFlops: luSolveFlops(a.M, b.Cols), Wall: time.Since(start)}
+		return x, nil
+	}
+	w := s.world
+	w.ResetTotals()
+	x := mat.New(a.N*a.M, b.Cols)
+	perRank := make([]int64, w.P)
+	w.Run(func(c *comm.Comm) {
+		perRank[c.Rank()] = s.solveRank(c, b, x)
+	})
+	s.solveStats = SolveStats{
+		Comm:         w.TotalStats(),
+		MaxSimComm:   w.MaxSimCommTime(),
+		Wall:         time.Since(start),
+		PrefixGrowth: s.growth,
+	}
+	s.solveStats.mergeRankFlops(perRank)
+	return x, nil
+}
+
+func (s *ARD) solveRank(c *comm.Comm, b, x *mat.Matrix) int64 {
+	a := s.a
+	r, p := c.Rank(), c.Size()
+	m, rhs := a.M, b.Cols
+	st := s.rk[r]
+	var fc flopCounter
+
+	// Build the F vectors for this right-hand side and fold them into the
+	// local total H using the stored transfer matrices. The fold ping-pongs
+	// between two scratch buffers instead of allocating per element: the
+	// solve phase is O(M^2) work per element, so allocation would dominate.
+	fs := make([]*mat.Matrix, len(st.elems))
+	hbuf := [2]*mat.Matrix{mat.New(2*m, rhs), mat.New(2*m, rhs)}
+	hcur := 0
+	var localTotalH *mat.Matrix
+	for k, e := range st.elems {
+		fs[k] = e.buildF(m, blockOf(b, m, e.idx-1))
+		fc.add(luSolveFlops(m, rhs))
+		if localTotalH == nil {
+			localTotalH = fs[k]
+			continue
+		}
+		fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
+		dst := hbuf[hcur]
+		hcur ^= 1
+		mat.Mul(dst, e.t, localTotalH)
+		mat.Add(dst, dst, fs[k])
+		localTotalH = dst
+	}
+
+	// Replay the scan on the vector halves only.
+	var preH *mat.Matrix
+	if s.sched == prefix.Chain {
+		if r > 0 {
+			preH = decodeHMat(c.Recv(r-1, tagARDSolveScan))
+		}
+		if r < p-1 {
+			// Inclusive H: combine(pre, local).H = localTotalS*preH + localTotalH.
+			incH := localTotalH
+			if preH != nil {
+				if st.localTotalS != nil {
+					fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
+					incH = ComposeH(preH, st.localTotalS, localTotalH)
+				} else {
+					incH = preH
+				}
+			}
+			c.Send(r+1, tagARDSolveScan, encodeHMat(incH))
+		}
+		return s.solveFinish(c, b, x, st, fs, localTotalH, preH, &fc)
+	}
+	accH := localTotalH
+	for _, round := range st.rounds { // Kogge-Stone replay
+		if r+round.dist < p {
+			c.Send(r+round.dist, tagARDSolveScan, encodeHMat(accH))
+		}
+		if r-round.dist >= 0 {
+			recvH := decodeHMat(c.Recv(r-round.dist, tagARDSolveScan))
+			if recvH != nil {
+				if round.preS == nil {
+					preH = recvH
+				} else {
+					fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
+					preH = ComposeH(recvH, round.preS, preH)
+				}
+				if round.accS == nil {
+					accH = recvH
+				} else {
+					fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
+					accH = ComposeH(recvH, round.accS, accH)
+				}
+			}
+		}
+	}
+
+	return s.solveFinish(c, b, x, st, fs, localTotalH, preH, &fc)
+}
+
+// solveFinish is the schedule-independent tail of a solve: the reduced
+// right-hand side and x0 at the last rank, the broadcast, and the local
+// recovery by state propagation (with ping-pong buffers).
+func (s *ARD) solveFinish(c *comm.Comm, b, x *mat.Matrix, st *ardRankState,
+	fs []*mat.Matrix, localTotalH, preH *mat.Matrix, fc *flopCounter) int64 {
+	a := s.a
+	r, p := c.Rank(), c.Size()
+	n, m, rhs := a.N, a.M, b.Cols
+	var x0 *mat.Matrix
+	if r == p-1 {
+		totalH := localTotalH
+		if preH != nil {
+			fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
+			totalH = ComposeH(preH, st.localTotalS, localTotalH)
+		}
+		rrhs := reducedRHS(a, totalH, blockOf(b, m, n-1))
+		fc.add(2 * gemmFlops(m, m, rhs))
+		x0 = s.luRm.Solve(rrhs)
+		fc.add(luSolveFlops(m, rhs))
+	}
+	x0 = c.BcastMatrix(p-1, x0)
+
+	if st.lo == 0 && st.hi > 0 {
+		blockOf(x, m, 0).CopyFrom(x0)
+	}
+	y := applyPrefixState(m, st.piS, preH, x0)
+	if st.piS != nil {
+		fc.add(gemmFlops(2*m, m, rhs) + addFlops(2*m, rhs))
+	}
+	ybuf := [2]*mat.Matrix{mat.New(2*m, rhs), mat.New(2*m, rhs)}
+	ycur := 0
+	for k, e := range st.elems {
+		dst := ybuf[ycur]
+		ycur ^= 1
+		mat.Mul(dst, e.t, y)
+		mat.Add(dst, dst, fs[k])
+		y = dst
+		fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
+		blockOf(x, m, e.idx).CopyFrom(y.View(0, 0, m, rhs))
+	}
+	return fc.n
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"blocktri/internal/blocktri"
+	"blocktri/internal/comm"
+	"blocktri/internal/mat"
+	"blocktri/internal/prefix"
+)
+
+// ARD factorization serialization: the factor phase is the expensive part
+// of the solver's lifecycle, so a long-running application can compute it
+// once, persist it, and restore it in later runs (or on failover) without
+// re-running the O(M^3) work. The format captures the complete per-rank
+// factor state; loading requires a world of the same size P the state was
+// produced with, and a matrix with the same (N, M) — the right-hand-side
+// path re-reads the matrix's last block row, so the caller must supply
+// the same matrix the factorization was computed for.
+
+// ardMagic identifies the on-disk ARD factor format ("ARF1").
+const ardMagic = 0x41524631
+
+// SaveFactor serializes the factor-phase state. Factor is run first if it
+// has not completed. It returns the number of bytes written.
+func (s *ARD) SaveFactor(w io.Writer) (int64, error) {
+	if err := s.Factor(); err != nil {
+		return 0, err
+	}
+	enc := newEncoder(w)
+	enc.u64(ardMagic)
+	enc.u64(uint64(s.a.N))
+	enc.u64(uint64(s.a.M))
+	enc.u64(uint64(s.world.P))
+	enc.u64(uint64(s.sched))
+	enc.f64(s.growth)
+	enc.matrixOpt(nil) // reserved slot (layout versioning headroom)
+	if s.luRm != nil {
+		enc.floats(s.luRm.Encode())
+	} else {
+		enc.u64(0)
+	}
+	if s.a.N == 1 {
+		return enc.finish()
+	}
+	for _, st := range s.rk {
+		enc.u64(uint64(st.lo))
+		enc.u64(uint64(st.hi))
+		enc.u64(uint64(st.first))
+		enc.u64(uint64(len(st.elems)))
+		for _, e := range st.elems {
+			enc.u64(uint64(e.idx))
+			enc.matrix(e.t)
+			enc.floats(e.luU.Encode())
+		}
+		enc.matrixOpt(st.localTotalS)
+		enc.u64(uint64(len(st.rounds)))
+		for _, rd := range st.rounds {
+			enc.u64(uint64(rd.dist))
+			enc.matrixOpt(rd.preS)
+			enc.matrixOpt(rd.accS)
+		}
+		enc.matrixOpt(st.piS)
+	}
+	return enc.finish()
+}
+
+// LoadFactor restores factor-phase state previously written by SaveFactor
+// into a fresh solver for matrix a over cfg's world. The world size and
+// the matrix shape must match the saved state.
+func LoadFactor(a *blocktri.Matrix, cfg Config, r io.Reader) (*ARD, error) {
+	s := NewARD(a, cfg)
+	dec := newDecoder(r)
+	if magic, err := dec.u64(); err != nil {
+		return nil, fmt.Errorf("core: reading factor header: %w", err)
+	} else if magic != ardMagic {
+		return nil, fmt.Errorf("core: bad factor magic %#x", magic)
+	}
+	n, err := dec.u64()
+	if err != nil {
+		return nil, err
+	}
+	m, err := dec.u64()
+	if err != nil {
+		return nil, err
+	}
+	p, err := dec.u64()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) != a.N || int(m) != a.M {
+		return nil, fmt.Errorf("core: saved factor is for N=%d M=%d, matrix is N=%d M=%d", n, m, a.N, a.M)
+	}
+	if int(p) != s.world.P {
+		return nil, fmt.Errorf("core: saved factor used P=%d, world has P=%d", p, s.world.P)
+	}
+	// The solve phase must replay the schedule the factor state was
+	// produced with, regardless of cfg.Schedule.
+	schedWord, err := dec.u64()
+	if err != nil {
+		return nil, err
+	}
+	switch prefix.Schedule(schedWord) {
+	case prefix.KoggeStone, prefix.Chain:
+		s.sched = prefix.Schedule(schedWord)
+	default:
+		return nil, fmt.Errorf("core: saved factor has unknown schedule %d", schedWord)
+	}
+	if s.growth, err = dec.f64(); err != nil {
+		return nil, err
+	}
+	if _, err := dec.matrixOpt(); err != nil { // reserved slot
+		return nil, err
+	}
+	luPayload, err := dec.floats()
+	if err != nil {
+		return nil, err
+	}
+	if len(luPayload) > 0 {
+		lu, err := safeDecodeLU(luPayload)
+		if err != nil {
+			return nil, err
+		}
+		s.luRm = lu
+	}
+	if a.N == 1 {
+		s.factored = true
+		return s, nil
+	}
+	s.rk = make([]*ardRankState, s.world.P)
+	for rank := 0; rank < s.world.P; rank++ {
+		st := &ardRankState{}
+		if st.lo, err = dec.intVal(); err != nil {
+			return nil, err
+		}
+		if st.hi, err = dec.intVal(); err != nil {
+			return nil, err
+		}
+		if st.first, err = dec.intVal(); err != nil {
+			return nil, err
+		}
+		ne, err := dec.intVal()
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < ne; k++ {
+			var e element
+			if e.idx, err = dec.intVal(); err != nil {
+				return nil, err
+			}
+			if e.t, err = dec.matrix(); err != nil {
+				return nil, err
+			}
+			luPayload, err := dec.floats()
+			if err != nil {
+				return nil, err
+			}
+			if e.luU, err = safeDecodeLU(luPayload); err != nil {
+				return nil, err
+			}
+			st.elems = append(st.elems, e)
+		}
+		if st.localTotalS, err = dec.matrixOpt(); err != nil {
+			return nil, err
+		}
+		nr, err := dec.intVal()
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < nr; k++ {
+			var rd ardRound
+			if rd.dist, err = dec.intVal(); err != nil {
+				return nil, err
+			}
+			if rd.preS, err = dec.matrixOpt(); err != nil {
+				return nil, err
+			}
+			if rd.accS, err = dec.matrixOpt(); err != nil {
+				return nil, err
+			}
+			st.rounds = append(st.rounds, rd)
+		}
+		if st.piS, err = dec.matrixOpt(); err != nil {
+			return nil, err
+		}
+		s.rk[rank] = st
+	}
+	s.factored = true
+	s.factorStats = SolveStats{PrefixGrowth: s.growth, StoredBytes: s.storedBytes()}
+	return s, nil
+}
+
+// encoder writes length-prefixed float64 sections in little-endian form.
+type encoder struct {
+	bw  *bufio.Writer
+	n   int64
+	err error
+}
+
+func newEncoder(w io.Writer) *encoder { return &encoder{bw: bufio.NewWriter(w)} }
+
+func (e *encoder) u64(v uint64) {
+	if e.err != nil {
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	k, err := e.bw.Write(buf[:])
+	e.n += int64(k)
+	e.err = err
+}
+
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *encoder) floats(fs []float64) {
+	e.u64(uint64(len(fs)))
+	for _, f := range fs {
+		e.f64(f)
+	}
+}
+
+func (e *encoder) matrix(m *mat.Matrix) { e.floats(comm.EncodeMatrix(m)) }
+
+func (e *encoder) matrixOpt(m *mat.Matrix) {
+	if m == nil {
+		e.u64(0)
+		return
+	}
+	e.matrix(m)
+}
+
+func (e *encoder) finish() (int64, error) {
+	if e.err != nil {
+		return e.n, e.err
+	}
+	return e.n, e.bw.Flush()
+}
+
+type decoder struct{ br *bufio.Reader }
+
+func newDecoder(r io.Reader) *decoder { return &decoder{br: bufio.NewReader(r)} }
+
+func (d *decoder) u64() (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(d.br, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+func (d *decoder) f64() (float64, error) {
+	v, err := d.u64()
+	return math.Float64frombits(v), err
+}
+
+func (d *decoder) intVal() (int, error) {
+	v, err := d.u64()
+	if err != nil {
+		return 0, err
+	}
+	const maxPlausible = 1 << 40
+	if v > maxPlausible {
+		return 0, fmt.Errorf("core: implausible integer %d in factor file", v)
+	}
+	return int(v), nil
+}
+
+func (d *decoder) floats() ([]float64, error) {
+	n, err := d.intVal()
+	if err != nil {
+		return nil, err
+	}
+	// Sections hold at most a 2M x 2M matrix per item; far below this cap
+	// (128 MiB of float64 words). Anything larger is corruption, and
+	// capping it keeps a flipped length byte from driving a huge
+	// allocation.
+	const maxSection = 1 << 24
+	if n > maxSection {
+		return nil, fmt.Errorf("core: implausible section length %d", n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if out[i], err = d.f64(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (d *decoder) matrix() (*mat.Matrix, error) {
+	fs, err := d.floats()
+	if err != nil {
+		return nil, err
+	}
+	return safeDecodeMatrix(fs)
+}
+
+func (d *decoder) matrixOpt() (*mat.Matrix, error) {
+	fs, err := d.floats()
+	if err != nil {
+		return nil, err
+	}
+	if len(fs) == 0 {
+		return nil, nil
+	}
+	return safeDecodeMatrix(fs)
+}
+
+// safeDecodeLU validates an untrusted LU payload the same way.
+func safeDecodeLU(fs []float64) (*mat.LU, error) {
+	if len(fs) < 2 {
+		return nil, fmt.Errorf("core: malformed LU section (len %d)", len(fs))
+	}
+	n := fs[0]
+	const maxDim = 1 << 20
+	if n != math.Trunc(n) || n < 0 || n > maxDim {
+		return nil, fmt.Errorf("core: implausible LU dimension %v", n)
+	}
+	if len(fs) != mat.EncodedLULen(int(n)) {
+		return nil, fmt.Errorf("core: LU payload length %d wrong for n=%v", len(fs), n)
+	}
+	for i := 0; i < int(n); i++ {
+		p := fs[2+i]
+		if p != math.Trunc(p) || p < 0 || p >= n {
+			return nil, fmt.Errorf("core: LU pivot %v out of range", p)
+		}
+	}
+	lu, _ := mat.DecodeLU(fs)
+	return lu, nil
+}
+
+// safeDecodeMatrix validates an untrusted matrix payload before decoding,
+// returning an error instead of the panic comm.DecodeMatrix reserves for
+// in-process protocol bugs.
+func safeDecodeMatrix(fs []float64) (*mat.Matrix, error) {
+	if len(fs) < 2 {
+		return nil, fmt.Errorf("core: malformed matrix section (len %d)", len(fs))
+	}
+	r, c := fs[0], fs[1]
+	const maxDim = 1 << 24
+	if r != math.Trunc(r) || c != math.Trunc(c) ||
+		r < 0 || c < 0 || r > maxDim || c > maxDim {
+		return nil, fmt.Errorf("core: implausible matrix dimensions %v x %v", r, c)
+	}
+	if len(fs) != 2+int(r)*int(c) {
+		return nil, fmt.Errorf("core: matrix payload length %d != %v x %v", len(fs)-2, r, c)
+	}
+	return comm.DecodeMatrix(fs), nil
+}

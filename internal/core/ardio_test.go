@@ -1,0 +1,199 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blocktri/internal/blocktri"
+	"blocktri/internal/comm"
+	"blocktri/internal/prefix"
+)
+
+func TestARDFactorSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for _, tc := range []struct{ n, m, r, p int }{
+		{1, 3, 2, 1}, {8, 2, 1, 2}, {16, 4, 3, 4}, {13, 3, 2, 5},
+	} {
+		a := blocktri.Oscillatory(tc.n, tc.m, rng)
+		b := a.RandomRHS(tc.r, rng)
+		orig := NewARD(a, Config{World: comm.NewWorld(tc.p)})
+		want, err := orig.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := orig.SaveFactor(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadFactor(a, Config{World: comm.NewWorld(tc.p)}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !loaded.Factored() {
+			t.Fatal("loaded solver not marked factored")
+		}
+		got, err := loaded.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("N=%d M=%d P=%d: loaded factor gives different solution", tc.n, tc.m, tc.p)
+		}
+		if loaded.FactorStats().PrefixGrowth != orig.FactorStats().PrefixGrowth {
+			t.Fatal("growth diagnostic not preserved")
+		}
+	}
+}
+
+func TestSaveFactorRunsFactorFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	a := blocktri.Oscillatory(8, 2, rng)
+	ard := NewARD(a, Config{World: comm.NewWorld(2)})
+	var buf bytes.Buffer
+	n, err := ard.SaveFactor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) || n == 0 {
+		t.Fatalf("byte count %d vs buffer %d", n, buf.Len())
+	}
+	if !ard.Factored() {
+		t.Fatal("SaveFactor should have factored")
+	}
+}
+
+func TestLoadFactorRejectsMismatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	a := blocktri.Oscillatory(8, 2, rng)
+	ard := NewARD(a, Config{World: comm.NewWorld(2)})
+	var buf bytes.Buffer
+	if _, err := ard.SaveFactor(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.Bytes()
+
+	// Wrong world size.
+	if _, err := LoadFactor(a, Config{World: comm.NewWorld(3)}, bytes.NewReader(saved)); err == nil {
+		t.Fatal("wrong P accepted")
+	}
+	// Wrong matrix shape.
+	other := blocktri.Oscillatory(9, 2, rng)
+	if _, err := LoadFactor(other, Config{World: comm.NewWorld(2)}, bytes.NewReader(saved)); err == nil {
+		t.Fatal("wrong N accepted")
+	}
+	// Corrupt magic.
+	bad := append([]byte(nil), saved...)
+	bad[0] ^= 0xff
+	if _, err := LoadFactor(a, Config{World: comm.NewWorld(2)}, bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+	// Truncated payload.
+	if _, err := LoadFactor(a, Config{World: comm.NewWorld(2)}, bytes.NewReader(saved[:len(saved)/2])); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+// Property: save/load round-trips the factorization bit-exactly for
+// arbitrary configurations, verified by solving with fresh right-hand
+// sides through both solvers.
+func TestARDFactorSaveLoadProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		m := 1 + rng.Intn(4)
+		p := 1 + rng.Intn(5)
+		a := blocktri.RandomDiagDominant(n, m, rng)
+		orig := NewARD(a, Config{World: comm.NewWorld(p)})
+		if err := orig.Factor(); err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := orig.SaveFactor(&buf); err != nil {
+			return false
+		}
+		loaded, err := LoadFactor(a, Config{World: comm.NewWorld(p)}, &buf)
+		if err != nil {
+			return false
+		}
+		b := a.RandomRHS(1+rng.Intn(3), rng)
+		x1, err1 := orig.Solve(b)
+		x2, err2 := loaded.Solve(b)
+		return err1 == nil && err2 == nil && x1.Equal(x2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadFactorSurvivesCorruption flips bytes at many positions in a
+// valid factor file and requires LoadFactor to return an error or a
+// loadable state — never panic. (Bit flips in the numeric payload are
+// undetectable by design; structural corruption must be caught.)
+func TestLoadFactorSurvivesCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	a := blocktri.Oscillatory(12, 3, rng)
+	ard := NewARD(a, Config{World: comm.NewWorld(3)})
+	var buf bytes.Buffer
+	if _, err := ard.SaveFactor(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.Bytes()
+	for trial := 0; trial < 300; trial++ {
+		bad := append([]byte(nil), saved...)
+		pos := rng.Intn(len(bad))
+		bad[pos] ^= byte(1 + rng.Intn(255))
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("corruption at byte %d panicked: %v", pos, p)
+				}
+			}()
+			_, _ = LoadFactor(a, Config{World: comm.NewWorld(3)}, bytes.NewReader(bad))
+		}()
+	}
+	// Truncations at every length must also be panic-free.
+	for cut := 0; cut < len(saved); cut += 97 {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("truncation at %d panicked: %v", cut, p)
+				}
+			}()
+			if _, err := LoadFactor(a, Config{World: comm.NewWorld(3)}, bytes.NewReader(saved[:cut])); err == nil {
+				t.Fatalf("truncation at %d accepted", cut)
+			}
+		}()
+	}
+}
+
+func TestSaveLoadPreservesSchedule(t *testing.T) {
+	// A chain-factored ARD has no Kogge-Stone round snapshots; loading it
+	// into a default (Kogge-Stone) config must still replay the chain
+	// schedule, or the H prefixes would silently be dropped.
+	rng := rand.New(rand.NewSource(405))
+	a := blocktri.Oscillatory(16, 3, rng)
+	b := a.RandomRHS(2, rng)
+	orig := NewARD(a, Config{World: comm.NewWorld(4), Schedule: prefix.Chain})
+	want, err := orig.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.SaveFactor(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately load with the default schedule in the config.
+	loaded, err := LoadFactor(a, Config{World: comm.NewWorld(4)}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("loaded chain factorization replayed with the wrong schedule")
+	}
+}

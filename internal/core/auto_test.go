@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"blocktri/internal/blocktri"
+	"blocktri/internal/comm"
+)
+
+func TestAutoChoosesARDOnStableFamily(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	a := blocktri.Oscillatory(64, 4, rng)
+	auto := NewAuto(a, Config{World: comm.NewWorld(4)}, AutoOptions{})
+	b := a.RandomRHS(2, rng)
+	x, err := auto.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Name() != "auto(accelerated-recursive-doubling)" {
+		t.Fatalf("chose %s: %s", auto.Name(), auto.Reason())
+	}
+	if rr := a.RelResidual(x, b); rr > 1e-10 {
+		t.Fatalf("residual %v", rr)
+	}
+}
+
+func TestAutoFallsBackToSpikeOnGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(502))
+	a := blocktri.RandomDiagDominant(64, 4, rng) // growth ~1e27
+	auto := NewAuto(a, Config{World: comm.NewWorld(4)}, AutoOptions{})
+	b := a.RandomRHS(1, rng)
+	x, err := auto.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Name() != "auto(spike)" {
+		t.Fatalf("chose %s: %s", auto.Name(), auto.Reason())
+	}
+	if !strings.Contains(auto.Reason(), "growth") {
+		t.Fatalf("reason missing growth explanation: %s", auto.Reason())
+	}
+	if rr := a.RelResidual(x, b); rr > 1e-12 {
+		t.Fatalf("residual %v", rr)
+	}
+}
+
+func TestAutoFallsBackToThomasWhenSpikeUnavailable(t *testing.T) {
+	rng := rand.New(rand.NewSource(503))
+	a := blocktri.RandomDiagDominant(6, 3, rng) // N < 2P blocks SPIKE
+	// Force ARD rejection via a tiny growth budget.
+	auto := NewAuto(a, Config{World: comm.NewWorld(4)}, AutoOptions{MaxGrowth: 1})
+	b := a.RandomRHS(1, rng)
+	x, err := auto.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Name() != "auto(block-thomas)" {
+		t.Fatalf("chose %s: %s", auto.Name(), auto.Reason())
+	}
+	if rr := a.RelResidual(x, b); rr > 1e-12 {
+		t.Fatalf("residual %v", rr)
+	}
+}
+
+func TestAutoFallsBackOnSingularSuperDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(504))
+	a := blocktri.RandomDiagDominant(16, 3, rng)
+	a.Upper[4].Zero() // ARD cannot handle this; SPIKE/Thomas can
+	auto := NewAuto(a, Config{World: comm.NewWorld(4)}, AutoOptions{})
+	b := a.RandomRHS(1, rng)
+	x, err := auto.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Name() == "auto(accelerated-recursive-doubling)" {
+		t.Fatal("must not have chosen ARD with a singular super-diagonal block")
+	}
+	if rr := a.RelResidual(x, b); rr > 1e-10 {
+		t.Fatalf("residual %v", rr)
+	}
+}
+
+func TestAutoShapeAndStateChecks(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	a := blocktri.Oscillatory(8, 2, rng)
+	auto := NewAuto(a, Config{}, AutoOptions{})
+	if auto.Name() != "auto(unfactored)" || auto.Factored() || auto.Chosen() != nil {
+		t.Fatal("pre-factor state wrong")
+	}
+	if _, err := auto.Solve(blocktri.New(2, 2).RandomRHS(1, rng)); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if err := auto.Factor(); err != nil {
+		t.Fatal(err)
+	}
+	if !auto.Factored() || auto.Chosen() == nil {
+		t.Fatal("post-factor state wrong")
+	}
+	// Idempotent.
+	chosen := auto.Chosen()
+	if err := auto.Factor(); err != nil || auto.Chosen() != chosen {
+		t.Fatal("Factor not idempotent")
+	}
+}
+
+func TestAutoComposesWithRefinement(t *testing.T) {
+	rng := rand.New(rand.NewSource(506))
+	a := blocktri.RandomDiagDominant(16, 4, rng)
+	// Allow ARD despite moderate growth, then refine back to precision.
+	auto := NewAuto(a, Config{World: comm.NewWorld(2)}, AutoOptions{MaxGrowth: 1e12})
+	b := a.RandomRHS(1, rng)
+	x, rep, err := SolveRefined(auto, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr := a.RelResidual(x, b); rr > 1e-12 {
+		t.Fatalf("refined auto residual %v (report %+v)", rr, rep)
+	}
+}
+
+func TestAutoHandlesOverflowedGrowth(t *testing.T) {
+	// At N=256 on a strongly dominant matrix the prefix products overflow
+	// to +Inf; the growth budget comparison must still reject ARD.
+	rng := rand.New(rand.NewSource(507))
+	a := blocktri.RandomDiagDominant(256, 3, rng)
+	auto := NewAuto(a, Config{World: comm.NewWorld(4)}, AutoOptions{})
+	b := a.RandomRHS(1, rng)
+	x, err := auto.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Name() == "auto(accelerated-recursive-doubling)" {
+		t.Fatalf("ARD accepted with overflowed growth: %s", auto.Reason())
+	}
+	if !strings.Contains(auto.Reason(), "pre-screened") {
+		t.Fatalf("expected the cheap pre-screen to reject ARD: %s", auto.Reason())
+	}
+	if rr := a.RelResidual(x, b); rr > 1e-11 {
+		t.Fatalf("residual %v", rr)
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"blocktri/internal/blocktri"
+	"blocktri/internal/mat"
+)
+
+// Dense is the reference solver: it expands the block tridiagonal matrix
+// to dense form and applies pivoted LU. O((N*M)^3) factor cost makes it
+// usable only at test scale, but it is backed by nothing except the dense
+// kernels and therefore serves as the accuracy oracle for every other
+// solver.
+type Dense struct {
+	a  *blocktri.Matrix
+	lu *mat.LU
+}
+
+// NewDense wraps a; factorization happens lazily on first Solve or an
+// explicit Factor call.
+func NewDense(a *blocktri.Matrix) *Dense { return &Dense{a: a} }
+
+// Name implements Solver.
+func (d *Dense) Name() string { return "dense-lu" }
+
+// Factor implements Factored.
+func (d *Dense) Factor() error {
+	if d.lu != nil {
+		return nil
+	}
+	lu, err := mat.Factor(d.a.Dense())
+	if err != nil {
+		return err
+	}
+	d.lu = lu
+	return nil
+}
+
+// Factored implements Factored.
+func (d *Dense) Factored() bool { return d.lu != nil }
+
+// Solve implements Solver.
+func (d *Dense) Solve(b *mat.Matrix) (*mat.Matrix, error) {
+	if err := checkRHS(d.a, b); err != nil {
+		return nil, err
+	}
+	if err := d.Factor(); err != nil {
+		return nil, err
+	}
+	return d.lu.Solve(b), nil
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blocktri/internal/blocktri"
+	"blocktri/internal/comm"
+)
+
+func TestPCRAgreesWithDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	cases := []struct{ n, m, r, p int }{
+		{1, 2, 1, 1}, {2, 2, 1, 1}, {3, 3, 2, 2}, {8, 2, 3, 4},
+		{13, 3, 1, 4}, {16, 4, 2, 3}, {31, 2, 2, 8}, {7, 2, 1, 7},
+	}
+	for _, tc := range cases {
+		a := blocktri.RandomDiagDominant(tc.n, tc.m, rng)
+		b := a.RandomRHS(tc.r, rng)
+		ref := requireAccurate(t, a, NewDense(a), b)
+		pcr := NewPCR(a, Config{World: comm.NewWorld(tc.p)})
+		x := requireAccurate(t, a, pcr, b)
+		if !x.EqualApprox(ref, 1e-8*float64(tc.n)) {
+			t.Fatalf("PCR disagrees with dense at N=%d M=%d R=%d P=%d", tc.n, tc.m, tc.r, tc.p)
+		}
+	}
+}
+
+func TestPCRStableOnDominantFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(602))
+	mats := []*blocktri.Matrix{
+		blocktri.RandomDiagDominant(64, 4, rng),
+		blocktri.Poisson2D(5, 48),
+		blocktri.ConvectionDiffusion(4, 40, 0.6),
+	}
+	for _, a := range mats {
+		b := a.RandomRHS(2, rng)
+		pcr := NewPCR(a, Config{World: comm.NewWorld(4)})
+		x, err := pcr.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rr := a.RelResidual(x, b); rr > 1e-11 {
+			t.Fatalf("PCR residual %v (dominant family should be stable)", rr)
+		}
+	}
+}
+
+func TestPCRFactorReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(603))
+	a := blocktri.RandomDiagDominant(24, 3, rng)
+	pcr := NewPCR(a, Config{World: comm.NewWorld(4)})
+	if err := pcr.Factor(); err != nil {
+		t.Fatal(err)
+	}
+	factorFlops := pcr.FactorStats().Flops
+	if factorFlops <= 0 {
+		t.Fatal("no factor flops recorded")
+	}
+	for trial := 0; trial < 3; trial++ {
+		b := a.RandomRHS(1+trial, rng)
+		requireAccurate(t, a, pcr, b)
+		if pcr.Stats().Flops >= factorFlops {
+			t.Fatalf("solve flops %d not below factor flops %d", pcr.Stats().Flops, factorFlops)
+		}
+	}
+	if err := pcr.Factor(); err != nil {
+		t.Fatal(err)
+	}
+	if pcr.FactorStats().Flops != factorFlops {
+		t.Fatal("repeated Factor redid work")
+	}
+}
+
+func TestPCRWorkIsLogNHeavierThanThomas(t *testing.T) {
+	// PCR's factor work carries the log N factor; doubling N should more
+	// than double flops, and PCR factor >> Thomas factor.
+	rng := rand.New(rand.NewSource(604))
+	flopsAt := func(n int) int64 {
+		a := blocktri.RandomDiagDominant(n, 3, rng)
+		pcr := NewPCR(a, Config{World: comm.NewWorld(2)})
+		if err := pcr.Factor(); err != nil {
+			t.Fatal(err)
+		}
+		return pcr.FactorStats().Flops
+	}
+	f64, f128 := flopsAt(64), flopsAt(128)
+	ratio := float64(f128) / float64(f64)
+	if ratio < 2.05 || ratio > 2.6 {
+		t.Fatalf("PCR factor scaling ratio %v not in the (2, 2.6) superlinear band", ratio)
+	}
+}
+
+func TestPCRMoreRanksThanRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(605))
+	a := blocktri.RandomDiagDominant(3, 2, rng)
+	b := a.RandomRHS(2, rng)
+	for _, p := range []int{4, 8} {
+		pcr := NewPCR(a, Config{World: comm.NewWorld(p)})
+		requireAccurate(t, a, pcr, b)
+	}
+}
+
+func TestPCRShapeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	a := blocktri.RandomDiagDominant(4, 2, rng)
+	pcr := NewPCR(a, Config{})
+	if _, err := pcr.Solve(blocktri.New(3, 2).RandomRHS(1, rng)); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestPCROwnerInversion(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{10, 3}, {16, 4}, {7, 7}, {100, 8}, {5, 2}} {
+		for j := 0; j < tc.n; j++ {
+			r := pcrOwner(tc.n, tc.p, j)
+			lo, hi := PartRange(tc.n, tc.p, r)
+			if j < lo || j >= hi {
+				t.Fatalf("n=%d p=%d: owner(%d)=%d but range is [%d,%d)", tc.n, tc.p, j, r, lo, hi)
+			}
+		}
+	}
+}
+
+func TestPCRSingularDiagonalAtSomeLevel(t *testing.T) {
+	// A matrix whose diagonal becomes singular during reduction must fail
+	// collectively with an error, not deadlock or panic.
+	a := blocktri.New(4, 1)
+	// Scalar tridiagonal [0 1; 1 0 1; 1 0 1; 1 0]: D=0 at level 0.
+	for i := 0; i < 4; i++ {
+		a.Diag[i].Set(0, 0, 0)
+		if i > 0 {
+			a.Lower[i].Set(0, 0, 1)
+		}
+		if i < 3 {
+			a.Upper[i].Set(0, 0, 1)
+		}
+	}
+	pcr := NewPCR(a, Config{World: comm.NewWorld(2)})
+	if err := pcr.Factor(); err == nil {
+		t.Fatal("expected factor error for singular diagonal")
+	}
+}
+
+// Property: PCR matches dense across random shapes and partitions.
+func TestPCRDenseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(24)
+		m := 1 + rng.Intn(4)
+		p := 1 + rng.Intn(6)
+		r := 1 + rng.Intn(3)
+		a := blocktri.RandomDiagDominant(n, m, rng)
+		b := a.RandomRHS(r, rng)
+		ref, err := NewDense(a).Solve(b)
+		if err != nil {
+			return false
+		}
+		x, err := NewPCR(a, Config{World: comm.NewWorld(p)}).Solve(b)
+		return err == nil && x.EqualApprox(ref, 1e-7*float64(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPCRStoredBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(607))
+	a := blocktri.RandomDiagDominant(32, 4, rng)
+	pcr := NewPCR(a, Config{World: comm.NewWorld(4)})
+	if err := pcr.Factor(); err != nil {
+		t.Fatal(err)
+	}
+	stored := pcr.FactorStats().StoredBytes
+	// At least the final LU per row plus one coefficient per interior row
+	// per level must be retained.
+	if min := int64(a.N) * 8 * int64(a.M) * int64(a.M); stored < min {
+		t.Fatalf("PCR stored %d below minimum %d", stored, min)
+	}
+}

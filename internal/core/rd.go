@@ -1,0 +1,236 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"blocktri/internal/blocktri"
+	"blocktri/internal/comm"
+	"blocktri/internal/mat"
+	"blocktri/internal/prefix"
+)
+
+// Message tags used by the solvers (user range, below the collectives'
+// reserved range).
+const (
+	tagRDScan = 200 + iota
+	tagARDFactorScan
+	tagARDSolveScan
+)
+
+// Config carries the distributed-execution settings shared by RD and ARD.
+type Config struct {
+	// World is the communicator to run on; nil means a fresh single-rank
+	// world (sequential execution through the same code path).
+	World *comm.World
+	// Schedule selects the cross-rank scan algorithm (default KoggeStone,
+	// the recursive doubling schedule). RD supports all schedules; ARD
+	// supports KoggeStone and Chain (its solve phase replays the factor
+	// phase's schedule, and Brent-Kung's down-sweep is not replayable).
+	Schedule prefix.Schedule
+}
+
+func (cfg Config) world() *comm.World {
+	if cfg.World == nil {
+		return comm.NewWorld(1)
+	}
+	return cfg.World
+}
+
+// RD is the classic recursive doubling solver. Every Solve call rebuilds
+// the transfer matrices, re-runs the local O(M^3 N/P) scan and the
+// O(M^3 log P) cross-rank scan: nothing is reused between calls. This is
+// the algorithm the paper identifies as sub-optimal for repeated solves
+// with the same matrix.
+type RD struct {
+	a     *blocktri.Matrix
+	world *comm.World
+	sched prefix.Schedule
+	stats SolveStats
+}
+
+// NewRD returns a recursive doubling solver for a over cfg's world.
+func NewRD(a *blocktri.Matrix, cfg Config) *RD {
+	return &RD{a: a, world: cfg.world(), sched: cfg.Schedule}
+}
+
+// Name implements Solver.
+func (rd *RD) Name() string { return "recursive-doubling" }
+
+// Stats returns the cost of the most recent Solve call. Communication
+// counters are owned by the solver: Solve resets the world's totals.
+func (rd *RD) Stats() SolveStats { return rd.stats }
+
+// errSlot collects the first error raised by any rank.
+type errSlot struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errSlot) set(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+func (e *errSlot) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// agreeOK reports whether every rank passed ok=true; it is the collective
+// error barrier that lets all ranks abandon a solve together instead of
+// deadlocking when one rank fails.
+func agreeOK(c *comm.Comm, ok bool) bool {
+	flag := 0.0
+	if !ok {
+		flag = 1
+	}
+	res := c.Allreduce([]float64{flag}, comm.OpMax)
+	return res[0] == 0
+}
+
+// Solve implements Solver.
+func (rd *RD) Solve(b *mat.Matrix) (*mat.Matrix, error) {
+	if err := checkRHS(rd.a, b); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	a := rd.a
+	if a.N == 1 {
+		x, err := mat.Solve(a.Diag[0], b)
+		if err != nil {
+			return nil, err
+		}
+		rd.stats = SolveStats{Flops: luFlops(a.M) + luSolveFlops(a.M, b.Cols), Wall: time.Since(start)}
+		rd.stats.MaxRankFlops = rd.stats.Flops
+		return x, nil
+	}
+	w := rd.world
+	w.ResetTotals()
+	x := mat.New(a.N*a.M, b.Cols)
+	perRank := make([]int64, w.P)
+	growth := make([]float64, w.P)
+	var es errSlot
+	w.Run(func(c *comm.Comm) {
+		perRank[c.Rank()], growth[c.Rank()] = rdRank(c, a, b, x, rd.sched, &es)
+	})
+	if err := es.get(); err != nil {
+		return nil, err
+	}
+	rd.stats = SolveStats{
+		Comm:         w.TotalStats(),
+		MaxSimComm:   w.MaxSimCommTime(),
+		Wall:         time.Since(start),
+		PrefixGrowth: growth[w.P-1],
+	}
+	rd.stats.mergeRankFlops(perRank)
+	return x, nil
+}
+
+// rdRank is one rank's share of a recursive doubling solve. It returns the
+// rank's analytic flop count and, on the last rank, the prefix growth
+// diagnostic.
+func rdRank(c *comm.Comm, a *blocktri.Matrix, b, x *mat.Matrix, sched prefix.Schedule, es *errSlot) (int64, float64) {
+	r, p := c.Rank(), c.Size()
+	n, m, rhs := a.N, a.M, b.Cols
+	lo, hi := PartRange(n, p, r)
+	first := lo
+	if first < 1 {
+		first = 1
+	}
+	var fc flopCounter
+
+	// Phase 1: build local scan elements and reduce them to the local
+	// total — the O(M^3 N/P) term, redone on every RD solve.
+	affs := make([]Affine, 0, max(hi-first, 0))
+	localTotal := Affine{}
+	var buildErr error
+	for i := first; i < hi; i++ {
+		e, err := buildElement(a, i)
+		if err != nil {
+			buildErr = err
+			break
+		}
+		fc.add(luFlops(m) + luSolveFlops(m, m)) // factor U, solve for D
+		if a.Lower[i-1] != nil {
+			fc.add(luSolveFlops(m, m))
+		}
+		af := e.affine(m, blockOf(b, m, i-1))
+		fc.add(luSolveFlops(m, rhs))
+		affs = append(affs, af)
+		if !localTotal.IsIdentity() {
+			fc.add(gemmFlops(2*m, 2*m, 2*m) + gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
+		}
+		localTotal = ComposeAffine(localTotal, af)
+	}
+	if buildErr != nil {
+		es.set(buildErr)
+	}
+	if !agreeOK(c, buildErr == nil) {
+		return fc.n, 0
+	}
+
+	// Phase 2: cross-rank exclusive scan — the O(M^3 log P) term.
+	countingOp := func(earlier, later Affine) Affine {
+		if !earlier.IsIdentity() && !later.IsIdentity() {
+			fc.add(gemmFlops(2*m, 2*m, 2*m) + gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
+		}
+		return ComposeAffine(earlier, later)
+	}
+	codec := prefix.Codec[Affine]{Encode: encodeAffine, Decode: decodeAffine}
+	pi, _ := prefix.ExScanRanks(c, localTotal, countingOp, codec, sched, tagRDScan)
+
+	// Phase 3: reduced system for x_0 on the last rank, then broadcast.
+	var x0 *mat.Matrix
+	growth := 0.0
+	solveOK := true
+	if r == p-1 {
+		total := ComposeAffine(pi, localTotal)
+		if !pi.IsIdentity() {
+			fc.add(gemmFlops(2*m, 2*m, 2*m) + gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
+		}
+		growth = mat.NormFrob(total.S)
+		rm := reducedMatrix(a, total.S)
+		fc.add(2 * gemmFlops(m, m, m))
+		luRm, err := mat.Factor(rm)
+		if err != nil {
+			es.set(err)
+			solveOK = false
+		} else {
+			fc.add(luFlops(m))
+			rrhs := reducedRHS(a, total.H, blockOf(b, m, n-1))
+			fc.add(2 * gemmFlops(m, m, rhs))
+			x0 = luRm.Solve(rrhs)
+			fc.add(luSolveFlops(m, rhs))
+		}
+	}
+	if !agreeOK(c, solveOK) {
+		return fc.n, growth
+	}
+	x0 = c.BcastMatrix(p-1, x0)
+
+	// Phase 4: local recovery by state propagation — O(M^2 R N/P).
+	if lo == 0 && hi > 0 {
+		blockOf(x, m, 0).CopyFrom(x0)
+	}
+	y := applyPrefixState(m, pi.S, pi.H, x0)
+	if pi.S != nil {
+		fc.add(gemmFlops(2*m, m, rhs) + addFlops(2*m, rhs))
+	}
+	ybuf := [2]*mat.Matrix{mat.New(2*m, rhs), mat.New(2*m, rhs)}
+	ycur := 0
+	for k, i := 0, first; i < hi; k, i = k+1, i+1 {
+		dst := ybuf[ycur]
+		ycur ^= 1
+		mat.Mul(dst, affs[k].S, y)
+		mat.Add(dst, dst, affs[k].H)
+		y = dst
+		fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
+		blockOf(x, m, i).CopyFrom(y.View(0, 0, m, rhs))
+	}
+	return fc.n, growth
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"blocktri/internal/blocktri"
+	"blocktri/internal/comm"
+	"blocktri/internal/mat"
+)
+
+// Spike implements the SPIKE / partition method (Sameh's algorithm), the
+// numerically stable factor/solve-split alternative to recursive
+// doubling, included as the strongest baseline for the comparison suite:
+//
+//   - Factor (once per matrix): each rank block-LU-factors its local
+//     chunk A_r, computes the left/right "spikes" V_r = A_r^{-1} B_r and
+//     W_r = A_r^{-1} C_r (the couplings to the halo unknowns), and the
+//     root assembles and factors the (P-1)-row reduced block tridiagonal
+//     system of size 2M over the partition-interface unknowns. Cost
+//     O(M^3 N/P) per rank + O(M^3 P) at the root.
+//
+//   - Solve (per right-hand side): a local O(M^2 R N/P) chunk solve, a
+//     gather of the 2M-row interface data, an O(M^2 R P) reduced solve at
+//     the root, a scatter, and a local O(M^2 R N/P) spike update.
+//
+// Unlike RD/ARD it performs no transfer-matrix products, so its accuracy
+// matches block Thomas on every family (at the price of an O(P) reduced
+// phase instead of O(log P), in this non-recursive variant).
+//
+// Requirements: every rank must own at least two block rows (N >= 2*P),
+// and the chunk diagonal blocks must admit a block LU (guaranteed for
+// block diagonally dominant systems).
+type Spike struct {
+	a     *blocktri.Matrix
+	world *comm.World
+
+	factored    bool
+	rk          []*spikeRankState
+	reduced     *Thomas // factored reduced system, held by the root
+	factorStats SolveStats
+	solveStats  SolveStats
+}
+
+// ErrChunkTooSmall is returned when a rank owns fewer than two block rows.
+var ErrChunkTooSmall = errors.New("core: spike requires at least 2 block rows per rank (N >= 2P)")
+
+type spikeRankState struct {
+	lo, hi int
+	local  *Thomas     // factorization of the chunk A_r
+	v      *mat.Matrix // left spike, (n_r*M) x M, nil on rank 0
+	w      *mat.Matrix // right spike, (n_r*M) x M, nil on rank P-1
+}
+
+// NewSpike returns a SPIKE solver for a over cfg's world.
+func NewSpike(a *blocktri.Matrix, cfg Config) *Spike {
+	return &Spike{a: a, world: cfg.world()}
+}
+
+// Name implements Solver.
+func (s *Spike) Name() string { return "spike" }
+
+// Factored implements Factored.
+func (s *Spike) Factored() bool { return s.factored }
+
+// FactorStats returns the cost of the Factor call.
+func (s *Spike) FactorStats() SolveStats { return s.factorStats }
+
+// Stats returns the cost of the most recent Solve call.
+func (s *Spike) Stats() SolveStats { return s.solveStats }
+
+// Message tags for the SPIKE phases.
+const (
+	tagSpikeFactorGather = 210 + iota
+	tagSpikeSolveGather
+	tagSpikeSolveScatter
+)
+
+// chunkMatrix extracts the local block tridiagonal chunk A_r (rows
+// [lo, hi)) with the halo couplings removed.
+func chunkMatrix(a *blocktri.Matrix, lo, hi int) *blocktri.Matrix {
+	n := hi - lo
+	c := &blocktri.Matrix{
+		N:     n,
+		M:     a.M,
+		Lower: make([]*mat.Matrix, n),
+		Diag:  make([]*mat.Matrix, n),
+		Upper: make([]*mat.Matrix, n),
+	}
+	for i := 0; i < n; i++ {
+		c.Diag[i] = a.Diag[lo+i]
+		if i > 0 {
+			c.Lower[i] = a.Lower[lo+i]
+		}
+		if i < n-1 {
+			c.Upper[i] = a.Upper[lo+i]
+		}
+	}
+	return c
+}
+
+// Factor implements Factored.
+func (s *Spike) Factor() error {
+	if s.factored {
+		return nil
+	}
+	start := time.Now()
+	a := s.a
+	p := s.world.P
+	if p == 1 {
+		// Degenerate single-rank case: SPIKE is exactly block Thomas.
+		th := NewThomas(a)
+		if err := th.Factor(); err != nil {
+			return err
+		}
+		s.rk = []*spikeRankState{{lo: 0, hi: a.N, local: th}}
+		s.factored = true
+		s.factorStats = th.Stats()
+		return nil
+	}
+	if a.N < 2*p {
+		return fmt.Errorf("%w: N=%d P=%d", ErrChunkTooSmall, a.N, p)
+	}
+	w := s.world
+	w.ResetTotals()
+	s.rk = make([]*spikeRankState, p)
+	perRank := make([]int64, p)
+	var es errSlot
+	w.Run(func(c *comm.Comm) {
+		perRank[c.Rank()] = s.factorRank(c, &es)
+	})
+	if err := es.get(); err != nil {
+		s.rk = nil
+		return err
+	}
+	s.factored = true
+	s.factorStats = SolveStats{
+		Comm:        w.TotalStats(),
+		MaxSimComm:  w.MaxSimCommTime(),
+		Wall:        time.Since(start),
+		StoredBytes: s.storedBytes(),
+	}
+	s.factorStats.mergeRankFlops(perRank)
+	return nil
+}
+
+// storedBytes totals the retained factor state: each rank's local block
+// LU, the two spikes, and the root's factored reduced system. The local
+// Thomas storage is computed analytically because its Stats() were
+// overwritten by the spike solves during Factor.
+func (s *Spike) storedBytes() int64 {
+	var total int64
+	m := int64(s.a.M)
+	thomasBytes := func(n, blk int64) int64 {
+		return n*(8*blk*blk+8*blk) + (n-1)*8*blk*blk
+	}
+	for _, st := range s.rk {
+		if st == nil {
+			continue
+		}
+		total += thomasBytes(int64(st.hi-st.lo), m)
+		total += matBytes(st.v) + matBytes(st.w)
+	}
+	if s.reduced != nil {
+		total += thomasBytes(int64(s.world.P-1), 2*m)
+	}
+	return total
+}
+
+func (s *Spike) factorRank(c *comm.Comm, es *errSlot) int64 {
+	a := s.a
+	r, p := c.Rank(), c.Size()
+	m := a.M
+	lo, hi := PartRange(a.N, p, r)
+	nr := hi - lo
+	st := &spikeRankState{lo: lo, hi: hi}
+	s.rk[r] = st
+	var fc flopCounter
+
+	// Local factorization of the chunk.
+	st.local = NewThomas(chunkMatrix(a, lo, hi))
+	err := st.local.Factor()
+	if err == nil {
+		fc.add(st.local.Stats().Flops)
+		// Spikes: V = A_r^{-1} [L_lo; 0; ...], W = A_r^{-1} [...; 0; U_{hi-1}].
+		if r > 0 {
+			rhs := mat.New(nr*m, m)
+			rhs.View(0, 0, m, m).CopyFrom(a.Lower[lo])
+			st.v, err = st.local.Solve(rhs)
+			fc.add(st.local.Stats().Flops)
+		}
+	}
+	if err == nil && r < p-1 {
+		rhs := mat.New(nr*m, m)
+		rhs.View((nr-1)*m, 0, m, m).CopyFrom(a.Upper[hi-1])
+		st.w, err = st.local.Solve(rhs)
+		fc.add(st.local.Stats().Flops)
+	}
+	if err != nil {
+		es.set(fmt.Errorf("core: spike rank %d: %w", r, err))
+	}
+	if !agreeOK(c, err == nil) {
+		return fc.n
+	}
+
+	// Gather the spike corner blocks at the root and assemble the reduced
+	// interface system: unknowns z_r = [x_{hi_r - 1} ; x_{lo_{r+1}}] for
+	// r = 0..P-2, block tridiagonal with 2M x 2M blocks.
+	zero := mat.New(m, m)
+	corner := func(sp *mat.Matrix, top bool) *mat.Matrix {
+		if sp == nil {
+			return zero
+		}
+		if top {
+			return sp.View(0, 0, m, m)
+		}
+		return sp.View((nr-1)*m, 0, m, m)
+	}
+	payload := comm.EncodeMatrices(
+		corner(st.v, true), corner(st.v, false),
+		corner(st.w, true), corner(st.w, false),
+	)
+	root := 0
+	gathered := c.Gather(root, payload)
+	reducedOK := true
+	if r == root {
+		reduced, err := s.assembleReduced(gathered)
+		if err == nil {
+			s.reduced = NewThomas(reduced)
+			err = s.reduced.Factor()
+			if err == nil {
+				fc.add(s.reduced.Stats().Flops)
+			}
+		}
+		if err != nil {
+			es.set(fmt.Errorf("core: spike reduced system: %w", err))
+			reducedOK = false
+		}
+	}
+	if !agreeOK(c, reducedOK) {
+		return fc.n
+	}
+	return fc.n
+}
+
+// assembleReduced builds the (P-1)-row reduced block tridiagonal system
+// from the gathered per-rank corner blocks [Vtop, Vbot, Wtop, Wbot].
+func (s *Spike) assembleReduced(gathered [][]float64) (*blocktri.Matrix, error) {
+	m := s.a.M
+	p := s.world.P
+	type corners struct{ vt, vb, wt, wb *mat.Matrix }
+	cs := make([]corners, p)
+	for r := 0; r < p; r++ {
+		ms := comm.DecodeMatrices(gathered[r])
+		if len(ms) != 4 {
+			return nil, fmt.Errorf("rank %d sent %d corner blocks", r, len(ms))
+		}
+		cs[r] = corners{vt: ms[0], vb: ms[1], wt: ms[2], wb: ms[3]}
+	}
+	red := blocktri.New(p-1, 2*m)
+	for r := 0; r < p-1; r++ {
+		d := red.Diag[r]
+		d.SetIdentity()
+		// Bottom-row equation of rank r: b_r + Vbot_r b_{r-1} + Wbot_r t_{r+1} = g.
+		d.View(0, m, m, m).CopyFrom(cs[r].wb)
+		// Top-row equation of rank r+1: t_{r+1} + Vtop_{r+1} b_r + Wtop_{r+1} t_{r+2} = g.
+		d.View(m, 0, m, m).CopyFrom(cs[r+1].vt)
+		if r > 0 {
+			red.Lower[r].View(0, 0, m, m).CopyFrom(cs[r].vb)
+		}
+		if r < p-2 {
+			red.Upper[r].View(m, m, m, m).CopyFrom(cs[r+1].wt)
+		}
+	}
+	return red, nil
+}
+
+// Solve implements Solver.
+func (s *Spike) Solve(b *mat.Matrix) (*mat.Matrix, error) {
+	if err := checkRHS(s.a, b); err != nil {
+		return nil, err
+	}
+	if err := s.Factor(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if s.world.P == 1 {
+		x, err := s.rk[0].local.Solve(b)
+		if err != nil {
+			return nil, err
+		}
+		s.solveStats = s.rk[0].local.Stats()
+		return x, nil
+	}
+	w := s.world
+	w.ResetTotals()
+	x := mat.New(s.a.N*s.a.M, b.Cols)
+	perRank := make([]int64, w.P)
+	var es errSlot
+	w.Run(func(c *comm.Comm) {
+		perRank[c.Rank()] = s.solveRank(c, b, x, &es)
+	})
+	if err := es.get(); err != nil {
+		return nil, err
+	}
+	s.solveStats = SolveStats{
+		Comm:       w.TotalStats(),
+		MaxSimComm: w.MaxSimCommTime(),
+		Wall:       time.Since(start),
+	}
+	s.solveStats.mergeRankFlops(perRank)
+	return x, nil
+}
+
+func (s *Spike) solveRank(c *comm.Comm, b, x *mat.Matrix, es *errSlot) int64 {
+	a := s.a
+	r, p := c.Rank(), c.Size()
+	m, rhs := a.M, b.Cols
+	st := s.rk[r]
+	nr := st.hi - st.lo
+	var fc flopCounter
+
+	// Local chunk solve: X0 = A_r^{-1} b_r.
+	x0, err := st.local.Solve(b.View(st.lo*m, 0, nr*m, rhs))
+	if err == nil {
+		fc.add(st.local.Stats().Flops)
+	} else {
+		es.set(err)
+	}
+	if !agreeOK(c, err == nil) {
+		return fc.n
+	}
+
+	// Gather the interface rows [x0 top ; x0 bottom] at the root.
+	root := 0
+	payload := comm.EncodeMatrices(
+		x0.View(0, 0, m, rhs),
+		x0.View((nr-1)*m, 0, m, rhs),
+	)
+	gathered := c.Gather(root, payload)
+
+	// Root: reduced solve, then scatter each rank its halo values
+	// (x_{lo-1} = b_{r-1} and x_{hi} = t_{r+1}).
+	reducedOK := true
+	if r == root {
+		zrhs := mat.New((p-1)*2*m, rhs)
+		type gf struct{ top, bot *mat.Matrix }
+		gs := make([]gf, p)
+		for q := 0; q < p; q++ {
+			ms := comm.DecodeMatrices(gathered[q])
+			gs[q] = gf{top: ms[0], bot: ms[1]}
+		}
+		for q := 0; q < p-1; q++ {
+			zrhs.View(q*2*m, 0, m, rhs).CopyFrom(gs[q].bot)
+			zrhs.View(q*2*m+m, 0, m, rhs).CopyFrom(gs[q+1].top)
+		}
+		z, err := s.reduced.Solve(zrhs)
+		if err == nil {
+			fc.add(s.reduced.Stats().Flops)
+			zero := mat.New(m, rhs)
+			for q := 0; q < p; q++ {
+				// Halo for rank q: left = b_{q-1} (z[q-1][0:M]), right = t_{q+1} (z[q][M:2M]).
+				left, right := zero, zero
+				if q > 0 {
+					left = z.View((q-1)*2*m, 0, m, rhs)
+				}
+				if q < p-1 {
+					right = z.View(q*2*m+m, 0, m, rhs)
+				}
+				c.Send(q, tagSpikeSolveScatter, comm.EncodeMatrices(left, right))
+			}
+		} else {
+			es.set(err)
+			reducedOK = false
+		}
+	}
+	if !agreeOK(c, reducedOK) {
+		return fc.n
+	}
+	halo := comm.DecodeMatrices(c.Recv(root, tagSpikeSolveScatter))
+	left, right := halo[0], halo[1]
+
+	// Local update: X = X0 - V*left - W*right, written into the global x.
+	out := x.View(st.lo*m, 0, nr*m, rhs)
+	out.CopyFrom(x0)
+	if st.v != nil {
+		mat.MulSub(out, st.v, left)
+		fc.add(gemmFlops(nr*m, m, rhs))
+	}
+	if st.w != nil {
+		mat.MulSub(out, st.w, right)
+		fc.add(gemmFlops(nr*m, m, rhs))
+	}
+	return fc.n
+}

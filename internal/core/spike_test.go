@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blocktri/internal/blocktri"
+	"blocktri/internal/comm"
+)
+
+func TestSpikeAgreesWithDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	cases := []struct{ n, m, r, p int }{
+		{4, 2, 1, 2}, {8, 3, 2, 2}, {12, 2, 3, 4}, {16, 4, 1, 5},
+		{9, 3, 2, 3}, {32, 2, 2, 8}, {7, 2, 1, 1},
+	}
+	for _, tc := range cases {
+		a := blocktri.RandomDiagDominant(tc.n, tc.m, rng)
+		b := a.RandomRHS(tc.r, rng)
+		ref := requireAccurate(t, a, NewDense(a), b)
+		sp := NewSpike(a, Config{World: comm.NewWorld(tc.p)})
+		x := requireAccurate(t, a, sp, b)
+		if !x.EqualApprox(ref, 1e-8*float64(tc.n)) {
+			t.Fatalf("spike disagrees with dense at N=%d M=%d R=%d P=%d", tc.n, tc.m, tc.r, tc.p)
+		}
+	}
+}
+
+func TestSpikeStableWhereRDIsNot(t *testing.T) {
+	// The accuracy contrast that motivates keeping SPIKE as a baseline:
+	// on a strongly diagonally dominant system at large N, recursive
+	// doubling's prefix products explode while SPIKE stays at machine
+	// precision.
+	rng := rand.New(rand.NewSource(202))
+	a := blocktri.RandomDiagDominant(64, 4, rng)
+	b := a.RandomRHS(2, rng)
+	sp := NewSpike(a, Config{World: comm.NewWorld(4)})
+	x, err := sp.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr := a.RelResidual(x, b); rr > 1e-12 {
+		t.Fatalf("spike residual %v on dominant system", rr)
+	}
+	rd := NewRD(a, Config{World: comm.NewWorld(4)})
+	xr, err := rd.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr := a.RelResidual(xr, b); rr < 1 {
+		t.Fatalf("expected RD to be inaccurate here, residual %v", rr)
+	}
+}
+
+func TestSpikeFactorReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	a := blocktri.RandomDiagDominant(20, 3, rng)
+	sp := NewSpike(a, Config{World: comm.NewWorld(4)})
+	if sp.Factored() {
+		t.Fatal("factored before Factor")
+	}
+	if err := sp.Factor(); err != nil {
+		t.Fatal(err)
+	}
+	factorFlops := sp.FactorStats().Flops
+	if factorFlops <= 0 {
+		t.Fatal("no factor flops recorded")
+	}
+	for trial := 0; trial < 3; trial++ {
+		b := a.RandomRHS(1+trial, rng)
+		requireAccurate(t, a, sp, b)
+		if sp.Stats().Flops >= factorFlops {
+			t.Fatalf("solve flops %d should be well below factor flops %d",
+				sp.Stats().Flops, factorFlops)
+		}
+	}
+	if err := sp.Factor(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.FactorStats().Flops != factorFlops {
+		t.Fatal("repeated Factor redid work")
+	}
+}
+
+func TestSpikeChunkTooSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	a := blocktri.RandomDiagDominant(5, 2, rng)
+	sp := NewSpike(a, Config{World: comm.NewWorld(3)})
+	if err := sp.Factor(); !errors.Is(err, ErrChunkTooSmall) {
+		t.Fatalf("want ErrChunkTooSmall, got %v", err)
+	}
+	// P=1 has no chunk constraint.
+	sp1 := NewSpike(a, Config{})
+	b := a.RandomRHS(1, rng)
+	requireAccurate(t, a, sp1, b)
+}
+
+func TestSpikeShapeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(205))
+	a := blocktri.RandomDiagDominant(8, 2, rng)
+	sp := NewSpike(a, Config{World: comm.NewWorld(2)})
+	if _, err := sp.Solve(blocktri.New(2, 2).RandomRHS(1, rng)); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestSpikeOnAllStableFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(206))
+	mats := []*blocktri.Matrix{
+		blocktri.RandomDiagDominant(24, 3, rng),
+		blocktri.Poisson2D(5, 24),
+		blocktri.ConvectionDiffusion(4, 24, 0.7),
+		blocktri.BlockToeplitz(24, 3, rng),
+		blocktri.AnisotropicDiffusion(4, 24, 0.05),
+	}
+	for _, a := range mats {
+		b := a.RandomRHS(2, rng)
+		sp := NewSpike(a, Config{World: comm.NewWorld(4)})
+		x, err := sp.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rr := a.RelResidual(x, b); rr > 1e-10 {
+			t.Fatalf("spike residual %v", rr)
+		}
+	}
+}
+
+// Property: SPIKE matches dense LU for random dominant systems across
+// random partitions.
+func TestSpikeDenseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(5)
+		n := 2*p + rng.Intn(20)
+		m := 1 + rng.Intn(4)
+		r := 1 + rng.Intn(3)
+		a := blocktri.RandomDiagDominant(n, m, rng)
+		b := a.RandomRHS(r, rng)
+		ref, err := NewDense(a).Solve(b)
+		if err != nil {
+			return false
+		}
+		x, err := NewSpike(a, Config{World: comm.NewWorld(p)}).Solve(b)
+		return err == nil && x.EqualApprox(ref, 1e-8*float64(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SPIKE solve flops are far below its factor flops (the
+// factor/solve split holds), and per-solve cost is linear in R.
+func TestSpikeCostShapeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 2 + rng.Intn(3)
+		n := 4 * p
+		m := 2 + rng.Intn(3)
+		a := blocktri.RandomDiagDominant(n, m, rng)
+		sp := NewSpike(a, Config{World: comm.NewWorld(p)})
+		if err := sp.Factor(); err != nil {
+			return false
+		}
+		if _, err := sp.Solve(a.RandomRHS(1, rng)); err != nil {
+			return false
+		}
+		f1 := sp.Stats().Flops
+		if _, err := sp.Solve(a.RandomRHS(4, rng)); err != nil {
+			return false
+		}
+		f4 := sp.Stats().Flops
+		return f1 < sp.FactorStats().Flops && f4 > 3*f1 && f4 < 5*f1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"blocktri/internal/blocktri"
+	"blocktri/internal/mat"
+)
+
+// ErrSingularSuper is returned when a super-diagonal block U_i is singular,
+// which the transfer-matrix recursive doubling formulation cannot handle.
+var ErrSingularSuper = errors.New("core: singular super-diagonal block (recursive doubling requires nonsingular U_i)")
+
+// ErrShape is returned when a right-hand side has the wrong shape.
+var ErrShape = errors.New("core: right-hand side shape mismatch")
+
+// PartRange returns the contiguous block range [lo, hi) owned by rank r of
+// p when distributing n block rows. Ranges differ in size by at most one;
+// rank p-1 always ends at n.
+func PartRange(n, p, r int) (lo, hi int) {
+	return r * n / p, (r + 1) * n / p
+}
+
+// element is the scan element E_i (1 <= i <= N-1) of the transfer-matrix
+// formulation. Element i propagates the state y_i = [x_i ; x_{i-1}]:
+//
+//	y_i = T*y_{i-1} + F,  T = | -U^{-1}D   -U^{-1}L |  F = | U^{-1}b |
+//	                          |     I          0    |      |    0    |
+//
+// built from block row j = i-1. T is matrix-only; luU is retained so the
+// right-hand-side part F can be (re)built per solve.
+type element struct {
+	idx int         // element index i (the state it produces)
+	t   *mat.Matrix // 2M x 2M transfer matrix
+	luU *mat.LU     // factorization of U_{i-1}, for building F
+}
+
+// buildElement constructs element i from the blocks of a. It costs one
+// M x M LU factorization plus two M-column triangular solves: O(M^3).
+func buildElement(a *blocktri.Matrix, i int) (element, error) {
+	j := i - 1
+	m := a.M
+	luU, err := mat.Factor(a.Upper[j])
+	if err != nil {
+		return element{}, fmt.Errorf("block row %d: %w", j, ErrSingularSuper)
+	}
+	t := mat.New(2*m, 2*m)
+	// Top-left: -U^{-1} D_j.
+	tl := t.View(0, 0, m, m)
+	luU.SolveTo(tl, a.Diag[j])
+	mat.Scale(tl, -1)
+	// Top-right: -U^{-1} L_j (zero when j == 0: x_{-1} = 0).
+	if a.Lower[j] != nil {
+		tr := t.View(0, m, m, m)
+		luU.SolveTo(tr, a.Lower[j])
+		mat.Scale(tr, -1)
+	}
+	// Bottom-left: identity.
+	t.View(m, 0, m, m).SetIdentity()
+	return element{idx: i, t: t, luU: luU}, nil
+}
+
+// buildF constructs the right-hand-side part F = [U^{-1} b_{i-1} ; 0]
+// (2M x R) for the element, costing O(M^2 R).
+func (e element) buildF(m int, bBlock *mat.Matrix) *mat.Matrix {
+	f := mat.New(2*m, bBlock.Cols)
+	e.luU.SolveTo(f.View(0, 0, m, bBlock.Cols), bBlock)
+	return f
+}
+
+// affine returns the full scan element (T, F) for the given right-hand
+// side block.
+func (e element) affine(m int, bBlock *mat.Matrix) Affine {
+	return Affine{S: e.t, H: e.buildF(m, bBlock)}
+}
+
+// applyPrefixState computes y_{s-1} = S[:, 0:M]*x0 + H, the state entering
+// a rank's chunk, given the cross-rank exclusive prefix (S, H) and the
+// broadcast first unknown x0 (M x R). A nil S means the identity prefix:
+// y = [x0 ; 0].
+func applyPrefixState(m int, s, h, x0 *mat.Matrix) *mat.Matrix {
+	y := mat.New(2*m, x0.Cols)
+	if s == nil {
+		y.View(0, 0, m, x0.Cols).CopyFrom(x0)
+		return y
+	}
+	mat.Mul(y, s.View(0, 0, 2*m, m), x0)
+	if h != nil {
+		mat.Add(y, y, h)
+	}
+	return y
+}
+
+// reducedSystem assembles the M x M reduced system for x_0 from the global
+// total prefix (S, H) = P_{N-1} and the last block row:
+//
+//	(D_{N-1} S11 + L_{N-1} S21) x0 = b_{N-1} - D_{N-1} H1 - L_{N-1} H2
+//
+// It returns the reduced matrix; the right-hand side is assembled
+// separately by reducedRHS so ARD can factor the matrix once.
+func reducedMatrix(a *blocktri.Matrix, s *mat.Matrix) *mat.Matrix {
+	m := a.M
+	last := a.N - 1
+	rm := mat.New(m, m)
+	mat.Mul(rm, a.Diag[last], s.View(0, 0, m, m))
+	tmp := mat.New(m, m)
+	mat.Mul(tmp, a.Lower[last], s.View(m, 0, m, m))
+	mat.Add(rm, rm, tmp)
+	return rm
+}
+
+// reducedRHS assembles the reduced right-hand side (M x R) from the global
+// total prefix H part and the last right-hand-side block.
+func reducedRHS(a *blocktri.Matrix, h, bLast *mat.Matrix) *mat.Matrix {
+	m, r := a.M, bLast.Cols
+	last := a.N - 1
+	rhs := bLast.Clone()
+	if h != nil {
+		mat.MulSub(rhs, a.Diag[last], h.View(0, 0, m, r))
+		mat.MulSub(rhs, a.Lower[last], h.View(m, 0, m, r))
+	}
+	return rhs
+}
+
+// checkRHS validates a stacked right-hand side against the system shape.
+func checkRHS(a *blocktri.Matrix, b *mat.Matrix) error {
+	if b.Rows != a.N*a.M || b.Cols < 1 {
+		return fmt.Errorf("%w: got %dx%d, want %d rows", ErrShape, b.Rows, b.Cols, a.N*a.M)
+	}
+	return nil
+}
+
+// blockOf returns the M x R view of block row i within a stacked vector.
+func blockOf(b *mat.Matrix, m, i int) *mat.Matrix {
+	return b.View(i*m, 0, m, b.Cols)
+}

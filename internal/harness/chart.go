@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart renders one or more (x, y) series as an ASCII scatter chart — the
+// terminal rendering of the paper's figures. Axes can be logarithmic,
+// which suits the runtime-vs-R and scaling figures.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 16)
+
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name   string
+	marker byte
+	xs, ys []float64
+}
+
+// markers cycles through per-series point glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// NewChart returns a chart with the given title and axis labels.
+func NewChart(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 64, Height: 16}
+}
+
+// AddSeries appends a named series; xs and ys must have equal length.
+func (c *Chart) AddSeries(name string, xs, ys []float64) {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("harness: series %q has %d xs but %d ys", name, len(xs), len(ys)))
+	}
+	c.series = append(c.series, chartSeries{
+		name:   name,
+		marker: markers[len(c.series)%len(markers)],
+		xs:     xs,
+		ys:     ys,
+	})
+}
+
+func (c *Chart) transform(v float64, log bool) (float64, bool) {
+	if !log {
+		return v, true
+	}
+	if v <= 0 {
+		return 0, false
+	}
+	return math.Log10(v), true
+}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	// Bounds over all (transformed) points.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.xs {
+			x, okx := c.transform(s.xs[i], c.LogX)
+			y, oky := c.transform(s.ys[i], c.LogY)
+			if !okx || !oky {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	fmt.Fprintf(w, "\n-- %s --\n", c.Title)
+	if math.IsInf(minX, 1) {
+		fmt.Fprintln(w, "(no plottable points)")
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(s chartSeries) {
+		for i := range s.xs {
+			x, okx := c.transform(s.xs[i], c.LogX)
+			y, oky := c.transform(s.ys[i], c.LogY)
+			if !okx || !oky {
+				continue
+			}
+			col := int((x - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = s.marker
+		}
+	}
+	for _, s := range c.series {
+		plot(s)
+	}
+	yTop := formatAxisValue(maxY, c.LogY)
+	yBot := formatAxisValue(minY, c.LogY)
+	labelWidth := max(len(yTop), len(yBot))
+	for r, row := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		if r == 0 {
+			label = pad(yTop, labelWidth)
+		}
+		if r == height-1 {
+			label = pad(yBot, labelWidth)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", width))
+	xLeft := formatAxisValue(minX, c.LogX)
+	xRight := formatAxisValue(maxX, c.LogX)
+	gap := width - len(xLeft) - len(xRight)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(w, "%s  %s%s%s\n", strings.Repeat(" ", labelWidth), xLeft, strings.Repeat(" ", gap), xRight)
+	fmt.Fprintf(w, "%s  x: %s, y: %s", strings.Repeat(" ", labelWidth), c.XLabel, c.YLabel)
+	if c.LogX || c.LogY {
+		fmt.Fprintf(w, " (log scale)")
+	}
+	fmt.Fprintln(w)
+	legend := make([]string, 0, len(c.series))
+	for _, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.marker, s.name))
+	}
+	fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", labelWidth), strings.Join(legend, "  "))
+}
+
+func formatAxisValue(v float64, log bool) string {
+	if log {
+		return fmt.Sprintf("%.3g", math.Pow(10, v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

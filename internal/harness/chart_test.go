@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRenderBasics(t *testing.T) {
+	c := NewChart("demo", "R", "seconds")
+	c.AddSeries("rd", []float64{1, 2, 4, 8}, []float64{1, 2, 4, 8})
+	c.AddSeries("ard", []float64{1, 2, 4, 8}, []float64{1, 1.2, 1.4, 1.6})
+	var sb strings.Builder
+	c.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"-- demo --", "*=rd", "o=ard", "x: R, y: seconds"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Both markers must appear in the plot area.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("markers missing from plot")
+	}
+}
+
+func TestChartLogScale(t *testing.T) {
+	c := NewChart("log demo", "R", "t")
+	c.LogX, c.LogY = true, true
+	c.AddSeries("s", []float64{1, 10, 100, 1000}, []float64{1e-3, 1e-2, 1e-1, 1})
+	var sb strings.Builder
+	c.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "log scale") {
+		t.Fatal("log annotation missing")
+	}
+	// On a log-log plot of a power law the points lie on the diagonal:
+	// top-right and bottom-left corners must both have markers.
+	lines := strings.Split(out, "\n")
+	var plotLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines = append(plotLines, l[strings.Index(l, "|")+1:])
+		}
+	}
+	if len(plotLines) == 0 {
+		t.Fatal("no plot rows")
+	}
+	if !strings.Contains(plotLines[0], "*") {
+		t.Fatal("max point missing from top row")
+	}
+	if !strings.Contains(plotLines[len(plotLines)-1], "*") {
+		t.Fatal("min point missing from bottom row")
+	}
+}
+
+func TestChartRejectsNonPositiveOnLog(t *testing.T) {
+	c := NewChart("bad", "x", "y")
+	c.LogY = true
+	c.AddSeries("s", []float64{1, 2}, []float64{0, -1}) // unplottable on log
+	var sb strings.Builder
+	c.Render(&sb)
+	if !strings.Contains(sb.String(), "no plottable points") {
+		t.Fatal("expected no-points notice")
+	}
+}
+
+func TestChartMismatchedSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewChart("x", "a", "b").AddSeries("s", []float64{1}, []float64{1, 2})
+}

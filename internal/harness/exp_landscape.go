@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"fmt"
+
+	"blocktri/internal/comm"
+	"blocktri/internal/core"
+	"blocktri/internal/workload"
+)
+
+// E13 places every solver in this repository side by side on one
+// configuration: factor time, per-solve time, per-solve flops and bytes,
+// retained memory, and accuracy — the summary table a practitioner would
+// consult to pick an algorithm.
+
+func init() {
+	Register(Experiment{ID: "E13", Title: "Solver landscape: all algorithms side by side", Run: runE13})
+}
+
+func runE13(quick bool) []*Table {
+	defer serialKernels()()
+	n, m, p := 512, 16, 8
+	reps := 3
+	if quick {
+		n, m = 96, 6
+		reps = 2
+	}
+	a := workload.Build(workload.Oscillatory, n, m, 20)
+	b := a.RandomRHS(1, randFor(21))
+
+	t := NewTable(fmt.Sprintf("E13: solver landscape (oscillatory N=%d M=%d P=%d, R=1)", n, m, p),
+		"solver", "factor", "per solve", "solve flops", "solve bytes", "stored", "residual")
+	t.Note = "Thomas and BCR run on one rank; RD has no factor phase (it repeats the matrix work every solve)"
+
+	type factoredSolver interface {
+		core.Solver
+		Factor() error
+		FactorStats() core.SolveStats
+		Stats() core.SolveStats
+	}
+	addFactored := func(s factoredSolver) {
+		factor := Measure(0, 1, func() {
+			if err := s.Factor(); err != nil {
+				panic(err)
+			}
+		})
+		solve := Measure(1, reps, func() {
+			if _, err := s.Solve(b); err != nil {
+				panic(err)
+			}
+		})
+		x, err := s.Solve(b)
+		if err != nil {
+			panic(err)
+		}
+		st := s.Stats()
+		t.AddRow(s.Name(), factor, solve, st.Flops, st.Comm.BytesSent,
+			s.FactorStats().StoredBytes, fmt.Sprintf("%.1e", a.RelResidual(x, b)))
+	}
+
+	// Thomas (sequential). Capture the stored-bytes figure right after
+	// Factor, before the solves overwrite the stats.
+	th := core.NewThomas(a)
+	thFactor := Measure(0, 1, func() {
+		if err := th.Factor(); err != nil {
+			panic(err)
+		}
+	})
+	thStored := th.Stats().StoredBytes
+	thSolve := Measure(1, reps, func() {
+		if _, err := th.Solve(b); err != nil {
+			panic(err)
+		}
+	})
+	xt, err := th.Solve(b)
+	if err != nil {
+		panic(err)
+	}
+	t.AddRow(th.Name()+" (P=1)", thFactor, thSolve, th.Stats().Flops, 0,
+		thStored, fmt.Sprintf("%.1e", a.RelResidual(xt, b)))
+
+	// BCR (sequential, no factor split).
+	bcr := core.NewBCR(a)
+	bcrSolve := Measure(1, reps, func() {
+		if _, err := bcr.Solve(b); err != nil {
+			panic(err)
+		}
+	})
+	xb, err := bcr.Solve(b)
+	if err != nil {
+		panic(err)
+	}
+	t.AddRow(bcr.Name()+" (P=1)", "-", bcrSolve, bcr.Stats().Flops, 0, 0,
+		fmt.Sprintf("%.1e", a.RelResidual(xb, b)))
+
+	// RD (no reuse).
+	rd := core.NewRD(a, core.Config{World: comm.NewWorld(p)})
+	rdSolve := Measure(1, reps, func() {
+		if _, err := rd.Solve(b); err != nil {
+			panic(err)
+		}
+	})
+	xr, err := rd.Solve(b)
+	if err != nil {
+		panic(err)
+	}
+	t.AddRow(rd.Name(), "-", rdSolve, rd.Stats().Flops, rd.Stats().Comm.BytesSent, 0,
+		fmt.Sprintf("%.1e", a.RelResidual(xr, b)))
+
+	addFactored(core.NewARD(a, core.Config{World: comm.NewWorld(p)}))
+	addFactored(core.NewSpike(a, core.Config{World: comm.NewWorld(p)}))
+	addFactored(core.NewPCR(a, core.Config{World: comm.NewWorld(p)}))
+	return []*Table{t}
+}

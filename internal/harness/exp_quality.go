@@ -1,0 +1,194 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"blocktri/internal/comm"
+	"blocktri/internal/core"
+	"blocktri/internal/costmodel"
+	"blocktri/internal/prefix"
+	"blocktri/internal/workload"
+)
+
+// Experiments E6-E10: accuracy, communication, amortization, scan-schedule
+// ablation and model validation.
+
+func init() {
+	Register(Experiment{ID: "E6", Title: "Accuracy: relative residuals per solver and family", Run: runE6})
+	Register(Experiment{ID: "E7", Title: "Communication volume per solve: RD vs ARD", Run: runE7})
+	Register(Experiment{ID: "E8", Title: "ARD phase breakdown and amortization crossover", Run: runE8})
+	Register(Experiment{ID: "E9", Title: "Ablation: scan schedule and Thomas crossover", Run: runE9})
+	Register(Experiment{ID: "E10", Title: "Model validation: measured vs analytic", Run: runE10})
+}
+
+func runE6(quick bool) []*Table {
+	defer serialKernels()()
+	sizes := []struct{ n, m int }{{16, 4}, {64, 4}, {64, 8}}
+	if quick {
+		sizes = sizes[:2]
+	}
+	t := NewTable("E6: relative residual ||Ax-b||/||b|| (R=2, P=4)",
+		"family", "N", "M", "dense-lu", "thomas", "bcr", "rd", "ard", "ard+refine")
+	t.Note = "RD/ARD error grows with the transfer-matrix prefix products on generic dominant matrices (ard+refine = 3 steps of iterative refinement, which recovers full accuracy while PrefixGrowth*eps << 1); on oscillatory (stable-recurrence) workloads they match direct methods"
+	for _, fam := range workload.Families {
+		for _, sz := range sizes {
+			a := workload.Build(fam, sz.n, sz.m, 6)
+			b := a.RandomRHS(2, randFor(7))
+			row := []any{fam.String(), sz.n, sz.m}
+			for _, s := range []core.Solver{
+				core.NewDense(a), core.NewThomas(a), core.NewBCR(a),
+				core.NewRD(a, core.Config{World: comm.NewWorld(4)}),
+				core.NewARD(a, core.Config{World: comm.NewWorld(4)}),
+			} {
+				x, err := s.Solve(b)
+				if err != nil {
+					row = append(row, "err:"+err.Error())
+					continue
+				}
+				row = append(row, fmt.Sprintf("%.2e", a.RelResidual(x, b)))
+			}
+			ard := core.NewARD(a, core.Config{World: comm.NewWorld(4)})
+			if xr, _, err := core.SolveRefined(ard, b, 3); err == nil {
+				row = append(row, fmt.Sprintf("%.2e", a.RelResidual(xr, b)))
+			} else {
+				row = append(row, "err:"+err.Error())
+			}
+			t.AddRow(row...)
+		}
+	}
+	return []*Table{t}
+}
+
+func runE7(quick bool) []*Table {
+	defer serialKernels()()
+	n, m := 1024, 16
+	ps := []int{2, 4, 8, 16, 32}
+	if quick {
+		n, m = 128, 8
+		ps = []int{2, 4, 8}
+	}
+	t := NewTable(fmt.Sprintf("E7: communication per solve (oscillatory N=%d M=%d, R=1)", n, m),
+		"P", "RD bytes", "RD msgs", "ARD-solve bytes", "ARD-solve msgs", "bytes ratio", "RD max simT", "ARD max simT")
+	t.Note = "per Kogge-Stone round RD ships the (2M)^2 matrix + 2M vector; ARD's solve phase ships only the 2M vector — a ~2M reduction in scan payload"
+	for _, p := range ps {
+		a := workload.Build(workload.Oscillatory, n, m, 8)
+		st := measureSolvers(a, p, 1, 1)
+		rdB, ardB := st.rdStats.Comm.BytesSent, st.ardSolveSt.Comm.BytesSent
+		ratio := 0.0
+		if ardB > 0 {
+			ratio = float64(rdB) / float64(ardB)
+		}
+		t.AddRow(p, rdB, st.rdStats.Comm.MsgsSent, ardB, st.ardSolveSt.Comm.MsgsSent,
+			ratio,
+			fmt.Sprintf("%.2e s", st.rdStats.MaxSimComm),
+			fmt.Sprintf("%.2e s", st.ardSolveSt.MaxSimComm))
+	}
+	return []*Table{t}
+}
+
+func runE8(quick bool) []*Table {
+	defer serialKernels()()
+	n, m, p := 512, 16, 8
+	reps := 3
+	if quick {
+		n, m = 96, 6
+		reps = 2
+	}
+	a := workload.Build(workload.Oscillatory, n, m, 10)
+	st := measureSolvers(a, p, 1, reps)
+
+	t := NewTable(fmt.Sprintf("E8: ARD phase breakdown (oscillatory N=%d M=%d P=%d, R=1)", n, m, p),
+		"phase", "time", "flops", "bytes sent")
+	t.AddRow("ARD factor (once)", st.ardFactor, st.ardFactorSt.Flops, st.ardFactorSt.Comm.BytesSent)
+	t.AddRow("ARD solve (per RHS)", st.ardSolve, st.ardSolveSt.Flops, st.ardSolveSt.Comm.BytesSent)
+	t.AddRow("RD solve (per RHS)", st.rdSolve, st.rdStats.Flops, st.rdStats.Comm.BytesSent)
+	t.AddRow("Thomas factor (once, P=1)", st.thFactor, "-", 0)
+	t.AddRow("Thomas solve (per RHS, P=1)", st.thSolve, "-", 0)
+
+	cross := NewTable("E8b: amortization crossover",
+		"comparison", "crossover R*")
+	gain := seconds(st.rdSolve) - seconds(st.ardSolve)
+	if gain > 0 {
+		cross.AddRow("ARD total < RD total", fmt.Sprintf("%.2f", seconds(st.ardFactor)/gain))
+	} else {
+		cross.AddRow("ARD total < RD total", "never (no per-solve gain)")
+	}
+	cross.Note = "R* = t_factor / (t_rd - t_ard): the number of right-hand sides after which ARD's one-time factor cost is repaid"
+	return []*Table{t, cross}
+}
+
+func runE9(quick bool) []*Table {
+	defer serialKernels()()
+	n, m := 1024, 8
+	ps := []int{4, 8, 16, 32}
+	reps := 2
+	if quick {
+		n = 128
+		ps = []int{4, 8}
+	}
+	t := NewTable(fmt.Sprintf("E9: RD scan-schedule ablation (oscillatory N=%d M=%d, R=1)", n, m),
+		"P", "kogge-stone", "brent-kung", "chain", "KS rounds", "BK rounds", "chain rounds")
+	t.Note = "wall times on one host; the rounds columns give each schedule's latency term on a real network (chain = P-1 rounds is the non-parallel baseline)"
+	for _, p := range ps {
+		a := workload.Build(workload.Oscillatory, n, m, 11)
+		b := a.RandomRHS(1, randFor(12))
+		row := []any{p}
+		for _, sched := range []prefix.Schedule{prefix.KoggeStone, prefix.BrentKung, prefix.Chain} {
+			rd := core.NewRD(a, core.Config{World: comm.NewWorld(p), Schedule: sched})
+			d := Measure(1, reps, func() {
+				if _, err := rd.Solve(b); err != nil {
+					panic(err)
+				}
+			})
+			row = append(row, d)
+		}
+		row = append(row, prefix.Rounds(prefix.KoggeStone, p),
+			prefix.Rounds(prefix.BrentKung, p), prefix.Rounds(prefix.Chain, p))
+		t.AddRow(row...)
+	}
+
+	// Thomas crossover: sequential Thomas vs the distributed algorithms'
+	// modeled critical path.
+	n2 := n
+	machine := calibratedMachine(n2, m)
+	cross := NewTable(fmt.Sprintf("E9b: Thomas vs RD/ARD modeled critical path (N=%d M=%d, R=1)", n2, m),
+		"P", "Thomas (P=1)", "RD model", "ARD-solve model")
+	for _, p := range []int{1, 2, 4, 8, 16, 32, 64} {
+		prm := costmodel.Params{N: n2, M: m, P: p, R: 1}
+		thomas := machine.Time(costmodel.Cost{
+			MaxRankFlops: costmodel.ThomasSolve(prm).MaxRankFlops +
+				costmodel.ThomasFactor(prm).MaxRankFlops})
+		cross.AddRow(p,
+			time.Duration(thomas*1e9),
+			time.Duration(machine.Time(costmodel.RDSolve(prm))*1e9),
+			time.Duration(machine.Time(costmodel.ARDSolve(prm))*1e9))
+	}
+	cross.Note = "the distributed algorithms overtake single-rank Thomas once P covers the ~8x transfer-matrix work overhead"
+	return []*Table{t, cross}
+}
+
+func runE10(quick bool) []*Table {
+	defer serialKernels()()
+	grid := []costmodel.Params{
+		{N: 128, M: 4, P: 4, R: 1}, {N: 128, M: 8, P: 8, R: 2},
+		{N: 256, M: 8, P: 4, R: 1}, {N: 512, M: 4, P: 16, R: 4},
+	}
+	reps := 2
+	if quick {
+		grid = grid[:2]
+	}
+	t := NewTable("E10: model validation (flops exact; time via calibrated flop rate)",
+		"N", "M", "P", "R", "RD flops meas", "RD flops model", "ARD flops meas", "ARD flops model", "RD wall", "RD predicted")
+	for _, prm := range grid {
+		a := workload.Build(workload.Oscillatory, prm.N, prm.M, 13)
+		st := measureSolvers(a, prm.P, prm.R, reps)
+		machine := calibratedMachine(prm.N, prm.M)
+		t.AddRow(prm.N, prm.M, prm.P, prm.R,
+			st.rdStats.Flops, costmodel.RDSolve(prm).Flops,
+			st.ardSolveSt.Flops, costmodel.ARDSolve(prm).Flops,
+			st.rdSolve, time.Duration(machine.Time(costmodel.RDSolve(prm))*1e9))
+	}
+	t.Note = "measured flop counters must equal the model exactly (double-entry); wall vs predicted agrees up to scheduling overhead since ranks timeshare one host"
+	return []*Table{t}
+}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"math/rand"
+	"time"
+
+	"blocktri/internal/blocktri"
+	"blocktri/internal/comm"
+	"blocktri/internal/core"
+	"blocktri/internal/mat"
+)
+
+// serialKernels disables nested GEMM parallelism for the duration of an
+// experiment so per-rank compute stays attributable to its rank; it
+// returns a restore function.
+func serialKernels() func() {
+	old := mat.Parallel
+	mat.Parallel = false
+	return func() { mat.Parallel = old }
+}
+
+// solverTimes holds the average per-call times of the repeated-solve
+// strategies on one matrix: classic RD per solve, ARD factor (once), ARD
+// per solve, and sequential Thomas factor and per solve, plus the
+// instrumentation of the last run of each.
+type solverTimes struct {
+	rdSolve     time.Duration
+	ardFactor   time.Duration
+	ardSolve    time.Duration
+	thFactor    time.Duration
+	thSolve     time.Duration
+	rdStats     core.SolveStats
+	ardFactorSt core.SolveStats
+	ardSolveSt  core.SolveStats
+}
+
+// measureSolvers times the strategies on matrix a with p ranks and r
+// right-hand-side columns per call, averaging solve times over reps.
+func measureSolvers(a *blocktri.Matrix, p, r, reps int) solverTimes {
+	var st solverTimes
+	rng := rand.New(rand.NewSource(int64(a.N*1000003 + a.M*101 + p)))
+	b := a.RandomRHS(r, rng)
+
+	rd := core.NewRD(a, core.Config{World: comm.NewWorld(p)})
+	st.rdSolve = Measure(1, reps, func() {
+		if _, err := rd.Solve(b); err != nil {
+			panic(err)
+		}
+	})
+	st.rdStats = rd.Stats()
+
+	st.ardFactor = Measure(0, 1, func() {
+		tmp := core.NewARD(a, core.Config{World: comm.NewWorld(p)})
+		if err := tmp.Factor(); err != nil {
+			panic(err)
+		}
+		st.ardFactorSt = tmp.FactorStats()
+	})
+	ard := core.NewARD(a, core.Config{World: comm.NewWorld(p)})
+	if err := ard.Factor(); err != nil {
+		panic(err)
+	}
+	st.ardSolve = Measure(1, reps, func() {
+		if _, err := ard.Solve(b); err != nil {
+			panic(err)
+		}
+	})
+	st.ardSolveSt = ard.Stats()
+
+	st.thFactor = Measure(0, 1, func() {
+		tmp := core.NewThomas(a)
+		if err := tmp.Factor(); err != nil {
+			panic(err)
+		}
+	})
+	th := core.NewThomas(a)
+	if err := th.Factor(); err != nil {
+		panic(err)
+	}
+	st.thSolve = Measure(1, reps, func() {
+		if _, err := th.Solve(b); err != nil {
+			panic(err)
+		}
+	})
+	return st
+}
+
+// seconds converts a duration to float seconds for ratio arithmetic.
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+// randFor returns a deterministic RNG for the given seed.
+func randFor(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,131 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by FactorCholesky when the matrix is
+// not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L with A = L*L^T of a
+// symmetric positive definite matrix. For SPD systems it halves the flops
+// and storage of pivoted LU and needs no pivoting.
+type Cholesky struct {
+	l *Matrix
+}
+
+// FactorCholesky computes the Cholesky factorization of a, reading only
+// its lower triangle (the strict upper triangle is ignored, so symmetry
+// is by construction). It returns ErrNotPositiveDefinite if a pivot is
+// not strictly positive.
+func FactorCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrShape
+	}
+	n := a.Rows
+	l := New(n, n)
+	for j := 0; j < n; j++ {
+		sum := a.At(j, j)
+		lrow := l.Data[j*l.Stride : j*l.Stride+j]
+		for _, v := range lrow {
+			sum -= v * v
+		}
+		if sum <= 0 || math.IsNaN(sum) {
+			return nil, ErrNotPositiveDefinite
+		}
+		d := math.Sqrt(sum)
+		l.Data[j*l.Stride+j] = d
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			li := l.Data[i*l.Stride : i*l.Stride+j]
+			for k, v := range lrow {
+				s -= li[k] * v
+			}
+			l.Data[i*l.Stride+j] = s / d
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// N returns the dimension of the factored matrix.
+func (ch *Cholesky) N() int { return ch.l.Rows }
+
+// L returns a copy of the lower-triangular factor.
+func (ch *Cholesky) L() *Matrix { return ch.l.Clone() }
+
+// Solve computes X with A*X = B; B may have any number of columns and is
+// not modified.
+func (ch *Cholesky) Solve(b *Matrix) *Matrix {
+	x := b.Clone()
+	ch.SolveInPlace(x)
+	return x
+}
+
+// SolveInPlace overwrites b with A^{-1} b via forward then back
+// substitution with L and L^T.
+func (ch *Cholesky) SolveInPlace(b *Matrix) {
+	n := ch.l.Rows
+	if b.Rows != n {
+		panic("mat: Cholesky solve dimension mismatch")
+	}
+	l := ch.l
+	r := b.Cols
+	// Forward: L y = b.
+	for i := 0; i < n; i++ {
+		bi := b.Data[i*b.Stride : i*b.Stride+r]
+		for k := 0; k < i; k++ {
+			v := l.Data[i*l.Stride+k]
+			if v == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Stride : k*b.Stride+r]
+			for j := range bi {
+				bi[j] -= v * bk[j]
+			}
+		}
+		d := l.Data[i*l.Stride+i]
+		for j := range bi {
+			bi[j] /= d
+		}
+	}
+	// Backward: L^T x = y.
+	for i := n - 1; i >= 0; i-- {
+		bi := b.Data[i*b.Stride : i*b.Stride+r]
+		for k := i + 1; k < n; k++ {
+			v := l.Data[k*l.Stride+i] // L^T[i][k] = L[k][i]
+			if v == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Stride : k*b.Stride+r]
+			for j := range bi {
+				bi[j] -= v * bk[j]
+			}
+		}
+		d := l.Data[i*l.Stride+i]
+		for j := range bi {
+			bi[j] /= d
+		}
+	}
+}
+
+// Det returns the determinant, the squared product of the diagonal of L.
+func (ch *Cholesky) Det() float64 {
+	d := 1.0
+	for i := 0; i < ch.l.Rows; i++ {
+		v := ch.l.Data[i*ch.l.Stride+i]
+		d *= v * v
+	}
+	return d
+}
+
+// LogDet returns the log-determinant, stable for large dimensions where
+// Det would overflow.
+func (ch *Cholesky) LogDet() float64 {
+	s := 0.0
+	for i := 0; i < ch.l.Rows; i++ {
+		s += 2 * math.Log(ch.l.Data[i*ch.l.Stride+i])
+	}
+	return s
+}

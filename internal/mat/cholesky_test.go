@@ -1,0 +1,149 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskyReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, n := range []int{1, 2, 5, 16, 40} {
+		a := RandomSPD(n, rng)
+		ch, err := FactorCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		l := ch.L()
+		llt := New(n, n)
+		MulTrans(llt, l, l, false, true)
+		if !llt.EqualApprox(a, 1e-8*NormFrob(a)) {
+			t.Fatalf("n=%d: L L^T != A", n)
+		}
+		// L must be lower triangular.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("n=%d: L not lower triangular at (%d,%d)", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskySolveMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	a := RandomSPD(12, rng)
+	b := Random(12, 3, rng)
+	ch, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xc := ch.Solve(b)
+	xl, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xc.EqualApprox(xl, 1e-9) {
+		t.Fatal("Cholesky and LU solutions differ")
+	}
+	// b must be unmodified by Solve.
+	res := New(12, 3)
+	Mul(res, a, xc)
+	Sub(res, res, b)
+	if NormFrob(res) > 1e-9*NormFrob(b) {
+		t.Fatalf("residual too large: %v", NormFrob(res))
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	// Symmetric but indefinite: eigenvalues +1 and -1.
+	a := NewFromSlice(2, 2, []float64{0, 1, 1, 0})
+	if _, err := FactorCholesky(a); err != ErrNotPositiveDefinite {
+		t.Fatalf("want ErrNotPositiveDefinite, got %v", err)
+	}
+	// Negative definite.
+	neg := Identity(3)
+	Scale(neg, -1)
+	if _, err := FactorCholesky(neg); err != ErrNotPositiveDefinite {
+		t.Fatalf("want ErrNotPositiveDefinite, got %v", err)
+	}
+	// Non-square.
+	if _, err := FactorCholesky(New(2, 3)); err != ErrShape {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestCholeskyIgnoresUpperTriangle(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	a := RandomSPD(5, rng)
+	garbled := a.Clone()
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			garbled.Set(i, j, 1e9) // garbage above the diagonal
+		}
+	}
+	c1, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := FactorCholesky(garbled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c1.L().Equal(c2.L()) {
+		t.Fatal("upper triangle affected the factorization")
+	}
+}
+
+func TestCholeskyDet(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	a := RandomSPD(6, rng)
+	ch, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ch.Det()-lu.Det()) > 1e-6*math.Abs(lu.Det()) {
+		t.Fatalf("Cholesky det %v vs LU det %v", ch.Det(), lu.Det())
+	}
+	if math.Abs(ch.LogDet()-math.Log(lu.Det())) > 1e-9 {
+		t.Fatalf("LogDet %v vs log(det) %v", ch.LogDet(), math.Log(lu.Det()))
+	}
+}
+
+func TestCholeskySolveDimMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	ch, err := FactorCholesky(RandomSPD(3, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer expectPanic(t, "Cholesky dim")
+	ch.SolveInPlace(New(2, 1))
+}
+
+// Property: Cholesky solves random SPD systems to tiny residuals.
+func TestCholeskySolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		a := RandomSPD(n, rng)
+		b := Random(n, 1+rng.Intn(4), rng)
+		ch, err := FactorCholesky(a)
+		if err != nil {
+			return false
+		}
+		x := ch.Solve(b)
+		res := New(b.Rows, b.Cols)
+		Mul(res, a, x)
+		Sub(res, res, b)
+		return NormFrob(res) <= 1e-8*(1+NormFrob(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+)
+
+// gemmBlock is the cache tile edge used by the blocked kernel. 64 float64
+// values per row segment keeps three tiles (~96 KiB) within typical L2.
+const gemmBlock = 64
+
+// parallelThreshold is the minimum number of multiply-add operations
+// (m*n*k) before GEMM fans work out across goroutines. Below it the
+// goroutine overhead dominates any speedup.
+const parallelThreshold = 1 << 18
+
+// Parallel controls whether large GEMM calls split row bands across
+// goroutines. It defaults to true; benchmarks that pin all parallelism in
+// the communicator ranks set it to false so that per-rank compute costs
+// stay attributable to the rank that performed them.
+var Parallel = true
+
+// GEMM computes dst = alpha*a*b + beta*dst, the general matrix-matrix
+// product. dst must be a.Rows x b.Cols and must not alias a or b; a.Cols
+// must equal b.Rows.
+func GEMM(alpha float64, a, b *Matrix, beta float64, dst *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("mat: GEMM shape mismatch")
+	}
+	if beta == 0 {
+		dst.Zero()
+	} else if beta != 1 {
+		Scale(dst, beta)
+	}
+	if alpha == 0 || a.Rows == 0 || a.Cols == 0 || b.Cols == 0 {
+		return
+	}
+	if b.Cols == 1 {
+		gemv(alpha, a, b, dst)
+		return
+	}
+	if Parallel && a.Rows*a.Cols*b.Cols >= parallelThreshold {
+		gemmParallel(alpha, a, b, dst)
+		return
+	}
+	gemmSerial(alpha, a, b, dst, 0, a.Rows)
+}
+
+// gemv accumulates alpha*a*x into the single-column dst: the solvers'
+// right-hand-side paths are dominated by this shape, where the tiled
+// kernel's slicing overhead would dwarf the two flops per element.
+func gemv(alpha float64, a, b, dst *Matrix) {
+	k := a.Cols
+	x := b.Data
+	if b.Stride != 1 {
+		// Gather a strided column once so the inner loop stays unit-stride.
+		buf := make([]float64, k)
+		for i := 0; i < k; i++ {
+			buf[i] = b.Data[i*b.Stride]
+		}
+		x = buf
+	} else {
+		x = x[:k]
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Stride : i*a.Stride+k]
+		sum := 0.0
+		for j, av := range arow {
+			sum += av * x[j]
+		}
+		dst.Data[i*dst.Stride] += alpha * sum
+	}
+}
+
+// gemmSerial accumulates alpha*a*b into dst for rows [r0, r1) of a/dst
+// using an i-k-j loop order with square tiling for cache locality.
+func gemmSerial(alpha float64, a, b, dst *Matrix, r0, r1 int) {
+	n, k := b.Cols, a.Cols
+	for ii := r0; ii < r1; ii += gemmBlock {
+		iMax := min(ii+gemmBlock, r1)
+		for kk := 0; kk < k; kk += gemmBlock {
+			kMax := min(kk+gemmBlock, k)
+			for jj := 0; jj < n; jj += gemmBlock {
+				jMax := min(jj+gemmBlock, n)
+				for i := ii; i < iMax; i++ {
+					arow := a.Data[i*a.Stride:]
+					drow := dst.Data[i*dst.Stride+jj : i*dst.Stride+jMax]
+					for kq := kk; kq < kMax; kq++ {
+						av := alpha * arow[kq]
+						if av == 0 {
+							continue
+						}
+						brow := b.Data[kq*b.Stride+jj : kq*b.Stride+jMax]
+						for j, bv := range brow {
+							drow[j] += av * bv
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// gemmParallel splits the rows of dst into bands, one goroutine per band.
+func gemmParallel(alpha float64, a, b, dst *Matrix) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	band := (a.Rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		r0 := w * band
+		r1 := min(r0+band, a.Rows)
+		if r0 >= r1 {
+			break
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			gemmSerial(alpha, a, b, dst, r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// Mul computes dst = a*b. dst must not alias a or b.
+func Mul(dst, a, b *Matrix) { GEMM(1, a, b, 0, dst) }
+
+// MulAdd computes dst += a*b. dst must not alias a or b.
+func MulAdd(dst, a, b *Matrix) { GEMM(1, a, b, 1, dst) }
+
+// MulSub computes dst -= a*b. dst must not alias a or b.
+func MulSub(dst, a, b *Matrix) { GEMM(-1, a, b, 1, dst) }
+
+// MulTrans computes dst = op(a)*op(b) where op(x) is x or x^T according to
+// the transA/transB flags. dst must not alias a or b. It is implemented by
+// explicit transposition into scratch, which is acceptable at the block
+// sizes this package targets (M <= a few hundred).
+func MulTrans(dst, a, b *Matrix, transA, transB bool) {
+	at, bt := a, b
+	if transA {
+		at = New(a.Cols, a.Rows)
+		Transpose(at, a)
+	}
+	if transB {
+		bt = New(b.Cols, b.Rows)
+		Transpose(bt, b)
+	}
+	Mul(dst, at, bt)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

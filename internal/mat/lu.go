@@ -1,0 +1,202 @@
+package mat
+
+import "math"
+
+// LU holds the LU factorization with partial (row) pivoting of a square
+// matrix A, such that P*A = L*U where P is the permutation recorded in Piv.
+// L is unit lower triangular and U upper triangular; both are packed into
+// the single factors matrix.
+type LU struct {
+	factors *Matrix
+	// Piv[k] is the row that was swapped with row k at elimination step k
+	// (LAPACK-style ipiv, 0-based).
+	Piv []int
+	// sign is the permutation parity, +1 or -1, used by Det.
+	sign float64
+}
+
+// Factor computes the pivoted LU factorization of the square matrix a.
+// The input matrix is not modified. It returns ErrSingular if a zero pivot
+// is encountered.
+func Factor(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrShape
+	}
+	lu := &LU{factors: a.Clone(), Piv: make([]int, a.Rows), sign: 1}
+	if err := lu.factorize(); err != nil {
+		return nil, err
+	}
+	return lu, nil
+}
+
+// FactorInPlace is like Factor but overwrites a with the packed factors,
+// avoiding the copy. a must have contiguous storage semantics compatible
+// with views (views are allowed).
+func FactorInPlace(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrShape
+	}
+	lu := &LU{factors: a, Piv: make([]int, a.Rows), sign: 1}
+	if err := lu.factorize(); err != nil {
+		return nil, err
+	}
+	return lu, nil
+}
+
+func (lu *LU) factorize() error {
+	f := lu.factors
+	n := f.Rows
+	for k := 0; k < n; k++ {
+		// Find pivot: largest |f[i][k]| for i >= k.
+		p := k
+		max := math.Abs(f.Data[k*f.Stride+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(f.Data[i*f.Stride+k]); v > max {
+				max, p = v, i
+			}
+		}
+		lu.Piv[k] = p
+		if max == 0 {
+			return ErrSingular
+		}
+		if p != k {
+			lu.sign = -lu.sign
+			rk := f.Data[k*f.Stride : k*f.Stride+n]
+			rp := f.Data[p*f.Stride : p*f.Stride+n]
+			for j := 0; j < n; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+		}
+		pivot := f.Data[k*f.Stride+k]
+		for i := k + 1; i < n; i++ {
+			m := f.Data[i*f.Stride+k] / pivot
+			f.Data[i*f.Stride+k] = m
+			if m == 0 {
+				continue
+			}
+			ri := f.Data[i*f.Stride+k+1 : i*f.Stride+n]
+			rk := f.Data[k*f.Stride+k+1 : k*f.Stride+n]
+			for j := range ri {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return nil
+}
+
+// N returns the dimension of the factored matrix.
+func (lu *LU) N() int { return lu.factors.Rows }
+
+// Solve computes X such that A*X = B for the factored A and returns it.
+// B may have any number of columns and is not modified.
+func (lu *LU) Solve(b *Matrix) *Matrix {
+	x := b.Clone()
+	lu.SolveInPlace(x)
+	return x
+}
+
+// SolveTo computes X = A^{-1} B into dst, which must have b's shape and
+// must not alias b.
+func (lu *LU) SolveTo(dst, b *Matrix) {
+	dst.CopyFrom(b)
+	lu.SolveInPlace(dst)
+}
+
+// SolveInPlace overwrites b (n x r) with A^{-1} b: it applies the row
+// permutation, then forward substitution with unit-L, then back
+// substitution with U.
+func (lu *LU) SolveInPlace(b *Matrix) {
+	n := lu.factors.Rows
+	if b.Rows != n {
+		panic("mat: LU solve dimension mismatch")
+	}
+	f := lu.factors
+	r := b.Cols
+	// Apply P: the same row interchanges performed during elimination.
+	for k := 0; k < n; k++ {
+		if p := lu.Piv[k]; p != k {
+			rk := b.Data[k*b.Stride : k*b.Stride+r]
+			rp := b.Data[p*b.Stride : p*b.Stride+r]
+			for j := 0; j < r; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+		}
+	}
+	// Forward substitution: L y = P b with unit diagonal.
+	for i := 1; i < n; i++ {
+		bi := b.Data[i*b.Stride : i*b.Stride+r]
+		for k := 0; k < i; k++ {
+			m := f.Data[i*f.Stride+k]
+			if m == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Stride : k*b.Stride+r]
+			for j := range bi {
+				bi[j] -= m * bk[j]
+			}
+		}
+	}
+	// Back substitution: U x = y.
+	for i := n - 1; i >= 0; i-- {
+		bi := b.Data[i*b.Stride : i*b.Stride+r]
+		for k := i + 1; k < n; k++ {
+			u := f.Data[i*f.Stride+k]
+			if u == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Stride : k*b.Stride+r]
+			for j := range bi {
+				bi[j] -= u * bk[j]
+			}
+		}
+		d := f.Data[i*f.Stride+i]
+		for j := range bi {
+			bi[j] /= d
+		}
+	}
+}
+
+// Inverse returns A^{-1} for the factored A.
+func (lu *LU) Inverse() *Matrix {
+	return lu.Solve(Identity(lu.factors.Rows))
+}
+
+// Det returns the determinant of the factored matrix.
+func (lu *LU) Det() float64 {
+	d := lu.sign
+	f := lu.factors
+	for i := 0; i < f.Rows; i++ {
+		d *= f.Data[i*f.Stride+i]
+	}
+	return d
+}
+
+// Solve is a convenience one-shot: it factors a and solves A*X = B.
+func Solve(a, b *Matrix) (*Matrix, error) {
+	lu, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return lu.Solve(b), nil
+}
+
+// Inverse is a convenience one-shot matrix inverse.
+func Inverse(a *Matrix) (*Matrix, error) {
+	lu, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return lu.Inverse(), nil
+}
+
+// Cond1 returns the exact 1-norm condition number of a, computed via an
+// explicit inverse. This is O(n^3) and intended for the modest block sizes
+// used in this repository (diagnostics and test assertions, not inner
+// loops).
+func Cond1(a *Matrix) (float64, error) {
+	inv, err := Inverse(a)
+	if err != nil {
+		return math.Inf(1), err
+	}
+	return Norm1(a) * Norm1(inv), nil
+}

@@ -1,0 +1,49 @@
+package mat
+
+import "fmt"
+
+// Encode flattens the factorization into a float64 payload understood by
+// DecodeLU: [n, sign, piv..., packed factors row-major...]. Pivot indices
+// are exactly representable as float64 for any realistic n.
+func (lu *LU) Encode() []float64 {
+	n := lu.factors.Rows
+	out := make([]float64, 0, 2+n+n*n)
+	out = append(out, float64(n), lu.sign)
+	for _, p := range lu.Piv {
+		out = append(out, float64(p))
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, lu.factors.Data[i*lu.factors.Stride:i*lu.factors.Stride+n]...)
+	}
+	return out
+}
+
+// EncodedLULen returns the payload length of an LU of dimension n.
+func EncodedLULen(n int) int { return 2 + n + n*n }
+
+// DecodeLU reconstructs a factorization from an Encode payload prefix and
+// returns it with the number of words consumed.
+func DecodeLU(p []float64) (*LU, int) {
+	if len(p) < 2 {
+		panic("mat: DecodeLU: short payload")
+	}
+	n := int(p[0])
+	need := EncodedLULen(n)
+	if n < 0 || len(p) < need {
+		panic(fmt.Sprintf("mat: DecodeLU: need %d words, have %d", need, len(p)))
+	}
+	lu := &LU{
+		factors: New(n, n),
+		Piv:     make([]int, n),
+		sign:    p[1],
+	}
+	for i := 0; i < n; i++ {
+		piv := int(p[2+i])
+		if piv < 0 || piv >= n {
+			panic(fmt.Sprintf("mat: DecodeLU: pivot %d out of range", piv))
+		}
+		lu.Piv[i] = piv
+	}
+	copy(lu.factors.Data, p[2+n:need])
+	return lu, need
+}

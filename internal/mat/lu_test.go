@@ -1,0 +1,312 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// reconstructPA applies the recorded row interchanges of lu to a copy of a,
+// returning P*A.
+func reconstructPA(a *Matrix, lu *LU) *Matrix {
+	pa := a.Clone()
+	n := pa.Rows
+	for k := 0; k < n; k++ {
+		if p := lu.Piv[k]; p != k {
+			for j := 0; j < n; j++ {
+				pa.Data[k*pa.Stride+j], pa.Data[p*pa.Stride+j] =
+					pa.Data[p*pa.Stride+j], pa.Data[k*pa.Stride+j]
+			}
+		}
+	}
+	return pa
+}
+
+// extractLandU unpacks the combined factors into explicit L (unit lower
+// triangular) and U (upper triangular).
+func extractLandU(lu *LU) (l, u *Matrix) {
+	n := lu.N()
+	l, u = Identity(n), New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := lu.factors.At(i, j)
+			if j < i {
+				l.Set(i, j, v)
+			} else {
+				u.Set(i, j, v)
+			}
+		}
+	}
+	return l, u
+}
+
+func TestLUReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 33} {
+		a := RandomDiagDominant(n, 1, rng)
+		lu, err := Factor(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		l, u := extractLandU(lu)
+		luProd := New(n, n)
+		Mul(luProd, l, u)
+		pa := reconstructPA(a, lu)
+		if !luProd.EqualApprox(pa, 1e-9*float64(n)) {
+			t.Fatalf("n=%d: L*U != P*A", n)
+		}
+	}
+}
+
+func TestLUSolveResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for _, n := range []int{1, 4, 16, 50} {
+		a := RandomDiagDominant(n, 1, rng)
+		b := Random(n, 3, rng)
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := New(n, 3)
+		Mul(res, a, x)
+		Sub(res, res, b)
+		if r := NormFrob(res) / NormFrob(b); r > 1e-10 {
+			t.Fatalf("n=%d: relative residual %v too large", n, r)
+		}
+	}
+}
+
+func TestLUSolveToAndInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := RandomDiagDominant(5, 1, rng)
+	b := Random(5, 2, rng)
+	lu, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1 := lu.Solve(b)
+	x2 := New(5, 2)
+	lu.SolveTo(x2, b)
+	x3 := b.Clone()
+	lu.SolveInPlace(x3)
+	if !x1.Equal(x2) || !x1.Equal(x3) {
+		t.Fatal("Solve/SolveTo/SolveInPlace disagree")
+	}
+	// b must be unchanged by Solve and SolveTo.
+	if !b.EqualApprox(Random(5, 2, rand.New(rand.NewSource(41))), math.Inf(1)) {
+		t.Fatal("unreachable") // shape guard only
+	}
+}
+
+func TestFactorDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a := RandomDiagDominant(4, 1, rng)
+	orig := a.Clone()
+	if _, err := Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(orig) {
+		t.Fatal("Factor modified its input")
+	}
+}
+
+func TestFactorInPlaceModifiesInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := RandomDiagDominant(4, 1, rng)
+	orig := a.Clone()
+	lu, err := FactorInPlace(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(orig) {
+		t.Fatal("FactorInPlace left input unchanged")
+	}
+	// It must still solve correctly.
+	b := Random(4, 1, rand.New(rand.NewSource(45)))
+	x := lu.Solve(b)
+	res := New(4, 1)
+	Mul(res, orig, x)
+	Sub(res, res, b)
+	if NormFrob(res) > 1e-10 {
+		t.Fatal("FactorInPlace solve wrong")
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 2, 2, 4})
+	if _, err := Factor(a); err != ErrSingular {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+	if _, err := Solve(a, New(2, 1)); err != ErrSingular {
+		t.Fatalf("Solve: expected ErrSingular, got %v", err)
+	}
+	if _, err := Inverse(a); err != ErrSingular {
+		t.Fatalf("Inverse: expected ErrSingular, got %v", err)
+	}
+	if c, err := Cond1(a); err == nil || !math.IsInf(c, 1) {
+		t.Fatalf("Cond1 of singular: got %v, %v", c, err)
+	}
+}
+
+func TestFactorNonSquare(t *testing.T) {
+	if _, err := Factor(New(2, 3)); err != ErrShape {
+		t.Fatalf("expected ErrShape, got %v", err)
+	}
+}
+
+func TestPivotingNeeded(t *testing.T) {
+	// Zero in the (0,0) position forces a pivot swap.
+	a := NewFromSlice(2, 2, []float64{0, 1, 1, 0})
+	lu, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := lu.Solve(NewFromSlice(2, 1, []float64{3, 7}))
+	if math.Abs(x.At(0, 0)-7) > 1e-14 || math.Abs(x.At(1, 0)-3) > 1e-14 {
+		t.Fatalf("permutation solve wrong: %v", x)
+	}
+	if lu.Det() != -1 {
+		t.Fatalf("det of antidiagonal permutation = %v want -1", lu.Det())
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for _, n := range []int{1, 3, 10, 25} {
+		a := RandomDiagDominant(n, 1, rng)
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod := New(n, n)
+		Mul(prod, a, inv)
+		if !prod.EqualApprox(Identity(n), 1e-9*float64(n)) {
+			t.Fatalf("n=%d: A*A^-1 != I", n)
+		}
+	}
+}
+
+func TestDetKnownValues(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	lu, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lu.Det()-(-2)) > 1e-12 {
+		t.Fatalf("det = %v want -2", lu.Det())
+	}
+	id, _ := Factor(Identity(5))
+	if id.Det() != 1 {
+		t.Fatalf("det(I) = %v", id.Det())
+	}
+}
+
+func TestDetMultiplicativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := RandomDiagDominant(n, 1, r)
+		b := RandomDiagDominant(n, 1, r)
+		ab := New(n, n)
+		Mul(ab, a, b)
+		la, e1 := Factor(a)
+		lb, e2 := Factor(b)
+		lab, e3 := Factor(ab)
+		if e1 != nil || e2 != nil || e3 != nil {
+			return false
+		}
+		want := la.Det() * lb.Det()
+		got := lab.Det()
+		return math.Abs(got-want) <= 1e-8*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCond1Identity(t *testing.T) {
+	c, err := Cond1(Identity(7))
+	if err != nil || math.Abs(c-1) > 1e-12 {
+		t.Fatalf("Cond1(I) = %v, %v", c, err)
+	}
+}
+
+func TestSolveDimensionMismatchPanics(t *testing.T) {
+	lu, err := Factor(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer expectPanic(t, "LU solve dim")
+	lu.SolveInPlace(New(2, 1))
+}
+
+// Property: for random diagonally dominant systems, solve residual is tiny
+// and solving twice with the same factorization is deterministic.
+func TestLUSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		rhs := 1 + r.Intn(5)
+		a := RandomDiagDominant(n, 1, r)
+		b := Random(n, rhs, r)
+		lu, err := Factor(a)
+		if err != nil {
+			return false
+		}
+		x1 := lu.Solve(b)
+		x2 := lu.Solve(b)
+		if !x1.Equal(x2) {
+			return false
+		}
+		res := New(n, rhs)
+		Mul(res, a, x1)
+		Sub(res, res, b)
+		return NormFrob(res) <= 1e-9*(1+NormFrob(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLUEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for _, n := range []int{1, 3, 8, 20} {
+		a := RandomDiagDominant(n, 1, rng)
+		lu, err := Factor(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := lu.Encode()
+		if len(payload) != EncodedLULen(n) {
+			t.Fatalf("n=%d: payload length %d want %d", n, len(payload), EncodedLULen(n))
+		}
+		got, consumed := DecodeLU(payload)
+		if consumed != len(payload) {
+			t.Fatalf("consumed %d of %d", consumed, len(payload))
+		}
+		b := Random(n, 2, rng)
+		if !lu.Solve(b).Equal(got.Solve(b)) {
+			t.Fatal("decoded LU solves differently")
+		}
+		if lu.Det() != got.Det() {
+			t.Fatal("decoded LU has different determinant (sign lost?)")
+		}
+	}
+}
+
+func TestDecodeLURejectsMalformed(t *testing.T) {
+	defer expectPanic(t, "DecodeLU short")
+	DecodeLU([]float64{5})
+}
+
+func TestDecodeLURejectsBadPivot(t *testing.T) {
+	lu, err := Factor(Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lu.Encode()
+	p[2] = 99 // pivot out of range
+	defer expectPanic(t, "DecodeLU pivot")
+	DecodeLU(p)
+}

@@ -1,0 +1,174 @@
+package mat
+
+import "math"
+
+// Add stores a + b into dst. All three must have the same shape; dst may
+// alias a or b.
+func Add(dst, a, b *Matrix) {
+	sameShape3(dst, a, b)
+	for i := 0; i < dst.Rows; i++ {
+		d := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+		x := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		y := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+		for j := range d {
+			d[j] = x[j] + y[j]
+		}
+	}
+}
+
+// Sub stores a - b into dst. All three must have the same shape; dst may
+// alias a or b.
+func Sub(dst, a, b *Matrix) {
+	sameShape3(dst, a, b)
+	for i := 0; i < dst.Rows; i++ {
+		d := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+		x := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		y := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+		for j := range d {
+			d[j] = x[j] - y[j]
+		}
+	}
+}
+
+// Scale multiplies every element of m by s in place.
+func Scale(m *Matrix, s float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] *= s
+		}
+	}
+}
+
+// AXPY computes dst += alpha * x elementwise. dst and x must have the same
+// shape.
+func AXPY(dst *Matrix, alpha float64, x *Matrix) {
+	if dst.Rows != x.Rows || dst.Cols != x.Cols {
+		panic("mat: AXPY shape mismatch")
+	}
+	for i := 0; i < dst.Rows; i++ {
+		d := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+		s := x.Data[i*x.Stride : i*x.Stride+x.Cols]
+		for j := range d {
+			d[j] += alpha * s[j]
+		}
+	}
+}
+
+// Neg stores -a into dst; dst may alias a.
+func Neg(dst, a *Matrix) {
+	if dst.Rows != a.Rows || dst.Cols != a.Cols {
+		panic("mat: Neg shape mismatch")
+	}
+	for i := 0; i < dst.Rows; i++ {
+		d := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+		s := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		for j := range d {
+			d[j] = -s[j]
+		}
+	}
+}
+
+// Transpose stores a^T into dst. dst must be a.Cols x a.Rows and must not
+// alias a.
+func Transpose(dst, a *Matrix) {
+	if dst.Rows != a.Cols || dst.Cols != a.Rows {
+		panic("mat: Transpose shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		for j, v := range row {
+			dst.Data[j*dst.Stride+i] = v
+		}
+	}
+}
+
+func sameShape3(a, b, c *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.Rows != c.Rows || a.Cols != c.Cols {
+		panic("mat: shape mismatch")
+	}
+}
+
+// NormFrob returns the Frobenius norm of m, computed with scaling to avoid
+// overflow.
+func NormFrob(m *Matrix) float64 {
+	scale, ssq := 0.0, 1.0
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for _, v := range row {
+			if v == 0 {
+				continue
+			}
+			a := math.Abs(v)
+			if scale < a {
+				r := scale / a
+				ssq = 1 + ssq*r*r
+				scale = a
+			} else {
+				r := a / scale
+				ssq += r * r
+			}
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the infinity norm (maximum absolute row sum) of m.
+func NormInf(m *Matrix) float64 {
+	max := 0.0
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		sum := 0.0
+		for _, v := range row {
+			sum += math.Abs(v)
+		}
+		if sum > max {
+			max = sum
+		}
+	}
+	return max
+}
+
+// Norm1 returns the 1-norm (maximum absolute column sum) of m.
+func Norm1(m *Matrix) float64 {
+	sums := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j, v := range row {
+			sums[j] += math.Abs(v)
+		}
+	}
+	max := 0.0
+	for _, s := range sums {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Norm2Vec returns the Euclidean norm of a column vector (n x 1 matrix).
+// It panics if m has more than one column.
+func Norm2Vec(m *Matrix) float64 {
+	if m.Cols != 1 {
+		panic("mat: Norm2Vec requires a column vector")
+	}
+	return NormFrob(m)
+}
+
+// Dot returns the Frobenius inner product of a and b (sum of elementwise
+// products). The shapes must match.
+func Dot(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("mat: Dot shape mismatch")
+	}
+	sum := 0.0
+	for i := 0; i < a.Rows; i++ {
+		x := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		y := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+		for j := range x {
+			sum += x[j] * y[j]
+		}
+	}
+	return sum
+}

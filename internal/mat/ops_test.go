@@ -1,0 +1,156 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSubNeg(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := NewFromSlice(2, 2, []float64{5, 6, 7, 8})
+	sum := New(2, 2)
+	Add(sum, a, b)
+	if !sum.Equal(NewFromSlice(2, 2, []float64{6, 8, 10, 12})) {
+		t.Fatalf("Add wrong: %v", sum)
+	}
+	diff := New(2, 2)
+	Sub(diff, sum, b)
+	if !diff.Equal(a) {
+		t.Fatalf("Sub wrong: %v", diff)
+	}
+	neg := New(2, 2)
+	Neg(neg, a)
+	Add(neg, neg, a)
+	if NormFrob(neg) != 0 {
+		t.Fatal("a + (-a) != 0")
+	}
+}
+
+func TestAddAliasing(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	Add(a, a, a) // dst aliases both operands
+	if !a.Equal(NewFromSlice(2, 2, []float64{2, 4, 6, 8})) {
+		t.Fatalf("aliased Add wrong: %v", a)
+	}
+}
+
+func TestScaleAXPY(t *testing.T) {
+	a := NewFromSlice(1, 3, []float64{1, 2, 3})
+	Scale(a, 2)
+	if !a.Equal(NewFromSlice(1, 3, []float64{2, 4, 6})) {
+		t.Fatalf("Scale wrong: %v", a)
+	}
+	b := NewFromSlice(1, 3, []float64{1, 1, 1})
+	AXPY(b, 0.5, a)
+	if !b.Equal(NewFromSlice(1, 3, []float64{2, 3, 4})) {
+		t.Fatalf("AXPY wrong: %v", b)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	at := New(3, 2)
+	Transpose(at, a)
+	want := NewFromSlice(3, 2, []float64{1, 4, 2, 5, 3, 6})
+	if !at.Equal(want) {
+		t.Fatalf("Transpose wrong: %v", at)
+	}
+	// Double transpose is identity.
+	att := New(2, 3)
+	Transpose(att, at)
+	if !att.Equal(a) {
+		t.Fatal("transpose not involutive")
+	}
+}
+
+func TestNormsKnownValues(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{3, -4, 0, 0})
+	if got := NormFrob(a); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Frobenius = %v want 5", got)
+	}
+	if got := NormInf(a); got != 7 {
+		t.Fatalf("NormInf = %v want 7", got)
+	}
+	if got := Norm1(a); got != 4 {
+		t.Fatalf("Norm1 = %v want 4", got)
+	}
+	v := NewFromSlice(2, 1, []float64{3, 4})
+	if got := Norm2Vec(v); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm2Vec = %v want 5", got)
+	}
+}
+
+func TestNormFrobOverflowResistant(t *testing.T) {
+	a := NewFromSlice(1, 2, []float64{1e200, 1e200})
+	got := NormFrob(a)
+	want := 1e200 * math.Sqrt2
+	if math.IsInf(got, 0) || math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("scaled Frobenius wrong: %v", got)
+	}
+}
+
+func TestNorm2VecRequiresColumn(t *testing.T) {
+	defer expectPanic(t, "Norm2Vec")
+	Norm2Vec(New(2, 2))
+}
+
+func TestDot(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := NewFromSlice(2, 2, []float64{5, 6, 7, 8})
+	if got := Dot(a, b); got != 70 {
+		t.Fatalf("Dot = %v want 70", got)
+	}
+}
+
+// Property: triangle inequality and absolute homogeneity for the norms.
+func TestNormAxiomsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := func(seed int64, s float64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		mdim := 1 + r.Intn(8)
+		a := Random(n, mdim, r)
+		b := Random(n, mdim, r)
+		sum := New(n, mdim)
+		Add(sum, a, b)
+		s = math.Mod(s, 100)
+		for _, norm := range []func(*Matrix) float64{NormFrob, NormInf, Norm1} {
+			if norm(sum) > norm(a)+norm(b)+1e-9 {
+				return false
+			}
+			sa := a.Clone()
+			Scale(sa, s)
+			if math.Abs(norm(sa)-math.Abs(s)*norm(a)) > 1e-9*(1+math.Abs(s)) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add is commutative and Sub(Add(a,b),b) == a elementwise.
+func TestAddSubRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, c := 1+r.Intn(6), 1+r.Intn(6)
+		a, b := Random(n, c, r), Random(n, c, r)
+		ab, ba := New(n, c), New(n, c)
+		Add(ab, a, b)
+		Add(ba, b, a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		back := New(n, c)
+		Sub(back, ab, b)
+		return back.EqualApprox(a, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+// Package prefix implements parallel prefix (scan) computation over an
+// arbitrary associative operation, both within a rank (sequential scans
+// over slices) and across the ranks of a communicator (recursive doubling
+// a.k.a. Kogge-Stone, the Brent-Kung/Blelloch tree as an ablation
+// alternative, and a sequential chain as the no-parallelism baseline).
+//
+// Recursive doubling across ranks is the schedule the paper's solvers are
+// named after: ceil(log2 P) rounds, in round k every rank exchanges its
+// running aggregate with the rank 2^k away.
+package prefix
+
+import (
+	"fmt"
+
+	"blocktri/internal/comm"
+)
+
+// Op combines two adjacent aggregates: Combine(earlier, later) must equal
+// the aggregate of the concatenated span. It must be associative; it need
+// not be commutative and the schedules never assume it is.
+type Op[T any] func(earlier, later T) T
+
+// Codec serializes scan elements for transport between ranks.
+type Codec[T any] struct {
+	Encode func(T) []float64
+	Decode func([]float64) T
+}
+
+// Schedule selects the cross-rank scan algorithm.
+type Schedule int
+
+const (
+	// KoggeStone is recursive doubling: ceil(log2 P) rounds, each rank
+	// both sends and receives every round. This is the paper's schedule.
+	KoggeStone Schedule = iota
+	// BrentKung is the work-efficient tree scan (up-sweep + down-sweep,
+	// 2*log2 P rounds but about half the combines). Requires a
+	// power-of-two communicator; used for the schedule ablation.
+	BrentKung
+	// Chain is the sequential pipeline: rank r waits for rank r-1. P-1
+	// rounds of latency; the no-parallelism baseline.
+	Chain
+)
+
+// String implements fmt.Stringer for experiment labels.
+func (s Schedule) String() string {
+	switch s {
+	case KoggeStone:
+		return "kogge-stone"
+	case BrentKung:
+		return "brent-kung"
+	case Chain:
+		return "chain"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// ScanSlice computes the inclusive prefix of items in place:
+// items[i] becomes op(items[0], ..., items[i]).
+func ScanSlice[T any](items []T, op Op[T]) {
+	for i := 1; i < len(items); i++ {
+		items[i] = op(items[i-1], items[i])
+	}
+}
+
+// ScanSliceCopy is ScanSlice into a fresh slice, leaving items untouched.
+func ScanSliceCopy[T any](items []T, op Op[T]) []T {
+	out := make([]T, len(items))
+	copy(out, items)
+	ScanSlice(out, op)
+	return out
+}
+
+// Reduce combines all items left to right; it panics on an empty slice.
+func Reduce[T any](items []T, op Op[T]) T {
+	if len(items) == 0 {
+		panic("prefix: Reduce of empty slice")
+	}
+	acc := items[0]
+	for _, it := range items[1:] {
+		acc = op(acc, it)
+	}
+	return acc
+}
+
+// ExScanRanks computes the exclusive cross-rank prefix of val: rank r
+// obtains op(val_0, ..., val_{r-1}). Rank 0 has no prefix and gets
+// (zero T, false). All ranks must call it collectively with the same
+// schedule and tag; the tag must not collide with other in-flight traffic.
+func ExScanRanks[T any](c *comm.Comm, val T, op Op[T], codec Codec[T], sched Schedule, tag int) (T, bool) {
+	switch sched {
+	case KoggeStone:
+		return exScanKoggeStone(c, val, op, codec, tag)
+	case BrentKung:
+		return exScanBrentKung(c, val, op, codec, tag)
+	case Chain:
+		return exScanChain(c, val, op, codec, tag)
+	default:
+		panic(fmt.Sprintf("prefix: unknown schedule %d", sched))
+	}
+}
+
+func exScanKoggeStone[T any](c *comm.Comm, val T, op Op[T], codec Codec[T], tag int) (T, bool) {
+	p := c.Size()
+	r := c.Rank()
+	acc := val // inclusive aggregate of [r-d+1 .. r] as rounds progress
+	var pre T  // exclusive aggregate of the ranks received so far
+	havePre := false
+	for dist := 1; dist < p; dist <<= 1 {
+		if r+dist < p {
+			c.Send(r+dist, tag, codec.Encode(acc))
+		}
+		if r-dist >= 0 {
+			recv := codec.Decode(c.Recv(r-dist, tag))
+			// recv spans strictly earlier ranks than everything in pre.
+			if havePre {
+				pre = op(recv, pre)
+			} else {
+				pre = recv
+				havePre = true
+			}
+			acc = op(recv, acc)
+		}
+	}
+	return pre, havePre
+}
+
+// exScanChain is the sequential pipeline baseline.
+func exScanChain[T any](c *comm.Comm, val T, op Op[T], codec Codec[T], tag int) (T, bool) {
+	p := c.Size()
+	r := c.Rank()
+	var pre T
+	havePre := false
+	if r > 0 {
+		pre = codec.Decode(c.Recv(r-1, tag))
+		havePre = true
+	}
+	if r < p-1 {
+		inc := val
+		if havePre {
+			inc = op(pre, val)
+		}
+		c.Send(r+1, tag, codec.Encode(inc))
+	}
+	return pre, havePre
+}
+
+// exScanBrentKung is the Blelloch two-phase tree scan adapted to a
+// semigroup (no identity element) by tracking presence explicitly.
+// It requires a power-of-two number of ranks.
+func exScanBrentKung[T any](c *comm.Comm, val T, op Op[T], codec Codec[T], tag int) (T, bool) {
+	p := c.Size()
+	if p&(p-1) != 0 {
+		panic(fmt.Sprintf("prefix: BrentKung requires power-of-two ranks, got %d", p))
+	}
+	r := c.Rank()
+	// encodeOpt/decodeOpt wrap the codec with a presence flag so the
+	// down-sweep can ship the "identity" (absent) value.
+	encodeOpt := func(v T, ok bool) []float64 {
+		if !ok {
+			return []float64{0}
+		}
+		return append([]float64{1}, codec.Encode(v)...)
+	}
+	decodeOpt := func(p []float64) (T, bool) {
+		var zero T
+		if p[0] == 0 {
+			return zero, false
+		}
+		return codec.Decode(p[1:]), true
+	}
+
+	// Up-sweep: after the round with stride d, ranks at positions
+	// (r+1) % 2d == 0 hold the aggregate of [r-2d+1 .. r].
+	acc, accOK := val, true
+	for d := 1; d < p; d <<= 1 {
+		if (r+1)%(2*d) == 0 {
+			recv := codec.Decode(c.Recv(r-d, tag))
+			acc = op(recv, acc)
+		} else if (r+1)%(2*d) == d {
+			c.Send(r+d, tag, codec.Encode(acc))
+		}
+	}
+	// Down-sweep: the root clears its value to "absent" (identity), then
+	// at each level partners swap: the left child receives the parent's
+	// incoming prefix, the right child receives parent-prefix ∘ left-agg.
+	if r == p-1 {
+		accOK = false
+	}
+	for d := p / 2; d >= 1; d >>= 1 {
+		if (r+1)%(2*d) == 0 {
+			// Parent: send current (exclusive-so-far) down to left child,
+			// receive the left child's up-sweep aggregate and append it.
+			c.Send(r-d, tag, encodeOpt(acc, accOK))
+			leftAgg := codec.Decode(c.Recv(r-d, tag))
+			if accOK {
+				acc = op(acc, leftAgg)
+			} else {
+				acc, accOK = leftAgg, true
+			}
+		} else if (r+1)%(2*d) == d {
+			// Left child: hand the parent our up-sweep aggregate and adopt
+			// the parent's incoming prefix.
+			c.Send(r+d, tag, codec.Encode(acc))
+			acc, accOK = decodeOpt(c.Recv(r+d, tag))
+		}
+	}
+	return acc, accOK
+}
+
+// ScanRanks computes the inclusive cross-rank prefix: rank r obtains
+// op(val_0, ..., val_r). Implemented as ExScanRanks plus a local combine.
+func ScanRanks[T any](c *comm.Comm, val T, op Op[T], codec Codec[T], sched Schedule, tag int) T {
+	pre, ok := ExScanRanks(c, val, op, codec, sched, tag)
+	if !ok {
+		return val
+	}
+	return op(pre, val)
+}
+
+// Rounds returns the number of communication rounds the schedule takes on
+// p ranks (the latency term of the cost model).
+func Rounds(sched Schedule, p int) int {
+	switch sched {
+	case KoggeStone:
+		return ceilLog2(p)
+	case BrentKung:
+		return 2 * ceilLog2(p)
+	case Chain:
+		return p - 1
+	default:
+		panic("prefix: unknown schedule")
+	}
+}
+
+func ceilLog2(p int) int {
+	n, v := 0, 1
+	for v < p {
+		v <<= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,247 @@
+package prefix
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"blocktri/internal/comm"
+	"blocktri/internal/mat"
+)
+
+// concat is the canonical associative, non-commutative test op: sequences
+// of float64 values under concatenation.
+func concat(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+var sliceCodec = Codec[[]float64]{
+	Encode: func(v []float64) []float64 { return v },
+	Decode: func(p []float64) []float64 { return p },
+}
+
+// matMul is the 2x2 matrix product semigroup, right-applied-first so it
+// matches the solver's operator composition convention: the combined
+// element for spans [a][b] is later*earlier when elements act on vectors
+// from the left. For scan testing we use plain earlier-then-later order.
+func matMul(earlier, later *mat.Matrix) *mat.Matrix {
+	out := mat.New(later.Rows, earlier.Cols)
+	mat.Mul(out, later, earlier)
+	return out
+}
+
+var matCodec = Codec[*mat.Matrix]{Encode: comm.EncodeMatrix, Decode: comm.DecodeMatrix}
+
+func TestScanSlice(t *testing.T) {
+	items := [][]float64{{1}, {2}, {3}}
+	ScanSlice(items, concat)
+	want := [][]float64{{1}, {1, 2}, {1, 2, 3}}
+	if !reflect.DeepEqual(items, want) {
+		t.Fatalf("ScanSlice = %v", items)
+	}
+}
+
+func TestScanSliceCopyLeavesInput(t *testing.T) {
+	items := [][]float64{{1}, {2}}
+	out := ScanSliceCopy(items, concat)
+	if !reflect.DeepEqual(items[1], []float64{2}) {
+		t.Fatal("input modified")
+	}
+	if !reflect.DeepEqual(out[1], []float64{1, 2}) {
+		t.Fatalf("copy scan wrong: %v", out)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	items := [][]float64{{5}, {6}, {7}}
+	if got := Reduce(items, concat); !reflect.DeepEqual(got, []float64{5, 6, 7}) {
+		t.Fatalf("Reduce = %v", got)
+	}
+}
+
+func TestReduceEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Reduce(nil, concat)
+}
+
+// runExScan executes the cross-rank exclusive scan for every rank and
+// returns the per-rank results (nil slice where havePre is false).
+func runExScan(t *testing.T, p int, sched Schedule) [][]float64 {
+	t.Helper()
+	w := comm.NewWorld(p)
+	results := make([][]float64, p)
+	w.Run(func(c *comm.Comm) {
+		val := []float64{float64(c.Rank())}
+		pre, ok := ExScanRanks(c, val, concat, sliceCodec, sched, 100)
+		if ok {
+			results[c.Rank()] = pre
+		}
+	})
+	if w.Pending() != 0 {
+		t.Fatalf("sched=%v P=%d: %d leaked messages", sched, p, w.Pending())
+	}
+	return results
+}
+
+func wantExclusive(r int) []float64 {
+	out := make([]float64, r)
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}
+
+func TestExScanRanksAllSchedules(t *testing.T) {
+	cases := []struct {
+		sched Schedule
+		sizes []int
+	}{
+		{KoggeStone, []int{1, 2, 3, 4, 5, 7, 8, 16, 13}},
+		{BrentKung, []int{1, 2, 4, 8, 16}},
+		{Chain, []int{1, 2, 3, 4, 9}},
+	}
+	for _, tc := range cases {
+		for _, p := range tc.sizes {
+			got := runExScan(t, p, tc.sched)
+			for r := 0; r < p; r++ {
+				if r == 0 {
+					if got[0] != nil {
+						t.Fatalf("%v P=%d: rank 0 should have no prefix, got %v", tc.sched, p, got[0])
+					}
+					continue
+				}
+				if !reflect.DeepEqual(got[r], wantExclusive(r)) {
+					t.Fatalf("%v P=%d rank %d: got %v want %v", tc.sched, p, r, got[r], wantExclusive(r))
+				}
+			}
+		}
+	}
+}
+
+func TestBrentKungRejectsNonPowerOfTwo(t *testing.T) {
+	w := comm.NewWorld(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for P=3 Brent-Kung")
+		}
+	}()
+	w.Run(func(c *comm.Comm) {
+		ExScanRanks(c, []float64{1}, concat, sliceCodec, BrentKung, 100)
+	})
+}
+
+func TestScanRanksInclusive(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		w := comm.NewWorld(p)
+		w.Run(func(c *comm.Comm) {
+			val := []float64{float64(c.Rank())}
+			inc := ScanRanks(c, val, concat, sliceCodec, KoggeStone, 101)
+			if !reflect.DeepEqual(inc, wantExclusive(c.Rank()+1)) {
+				panic("inclusive scan wrong")
+			}
+		})
+	}
+}
+
+func TestExScanMatrixSemigroupMatchesSequential(t *testing.T) {
+	// Non-commutative matrix products across ranks must equal the
+	// sequential left-to-right product of all earlier ranks' matrices.
+	for _, p := range []int{2, 4, 8, 6} {
+		sched := KoggeStone
+		rng := rand.New(rand.NewSource(int64(p)))
+		vals := make([]*mat.Matrix, p)
+		for i := range vals {
+			vals[i] = mat.Random(3, 3, rng)
+		}
+		w := comm.NewWorld(p)
+		results := make([]*mat.Matrix, p)
+		w.Run(func(c *comm.Comm) {
+			pre, ok := ExScanRanks(c, vals[c.Rank()], matMul, matCodec, sched, 102)
+			if ok {
+				results[c.Rank()] = pre
+			}
+		})
+		for r := 1; r < p; r++ {
+			want := Reduce(vals[:r], matMul)
+			if !results[r].EqualApprox(want, 1e-9) {
+				t.Fatalf("P=%d rank %d: matrix prefix mismatch", p, r)
+			}
+		}
+	}
+}
+
+func TestRounds(t *testing.T) {
+	cases := []struct {
+		sched Schedule
+		p     int
+		want  int
+	}{
+		{KoggeStone, 1, 0}, {KoggeStone, 2, 1}, {KoggeStone, 8, 3}, {KoggeStone, 9, 4},
+		{BrentKung, 8, 6}, {Chain, 8, 7},
+	}
+	for _, tc := range cases {
+		if got := Rounds(tc.sched, tc.p); got != tc.want {
+			t.Fatalf("Rounds(%v, %d) = %d want %d", tc.sched, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	if KoggeStone.String() != "kogge-stone" || BrentKung.String() != "brent-kung" || Chain.String() != "chain" {
+		t.Fatal("Schedule names wrong")
+	}
+	if Schedule(42).String() == "" {
+		t.Fatal("unknown schedule should still render")
+	}
+}
+
+// Property: for random rank counts and random per-rank sequence lengths,
+// every schedule agrees with the sequential scan.
+func TestSchedulesAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(12)
+		vals := make([][]float64, p)
+		for i := range vals {
+			vals[i] = make([]float64, 1+rng.Intn(4))
+			for j := range vals[i] {
+				vals[i][j] = float64(rng.Intn(1000))
+			}
+		}
+		scheds := []Schedule{KoggeStone, Chain}
+		if p&(p-1) == 0 {
+			scheds = append(scheds, BrentKung)
+		}
+		for _, sched := range scheds {
+			w := comm.NewWorld(p)
+			results := make([][]float64, p)
+			oks := make([]bool, p)
+			w.Run(func(c *comm.Comm) {
+				pre, ok := ExScanRanks(c, vals[c.Rank()], concat, sliceCodec, sched, 103)
+				results[c.Rank()], oks[c.Rank()] = pre, ok
+			})
+			for r := 0; r < p; r++ {
+				if r == 0 {
+					if oks[0] {
+						return false
+					}
+					continue
+				}
+				if !oks[r] || !reflect.DeepEqual(results[r], Reduce(vals[:r], concat)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
