@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench verify experiments experiments-quick clean
+.PHONY: all build vet lint test race bench verify experiments experiments-quick ci clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,17 @@ build:
 vet:
 	$(GO) vet ./...
 
+lint:
+	$(GO) run ./cmd/blocktri-lint ./...
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/comm/ ./internal/prefix/ ./internal/core/
+	$(GO) test -race ./...
+
+ci:
+	./scripts/ci.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

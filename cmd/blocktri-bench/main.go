@@ -55,7 +55,11 @@ func main() {
 	fmt.Printf("environment: %s\n", harness.Environment())
 	for _, e := range toRun {
 		fmt.Printf("\n########## %s: %s ##########\n", e.ID, e.Title)
-		tables := e.Run(*quick)
+		tables, err := e.Run(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blocktri-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
 		for i, t := range tables {
 			t.Render(os.Stdout)
 			if *csvDir != "" {

@@ -1,0 +1,121 @@
+// Command blocktri-lint runs the module's domain static-analysis suite
+// (internal/analysis): matalias, commlock, commtag, floateq and
+// panicpolicy. It loads and type-checks the whole module from source using
+// only the standard library, reports findings as
+//
+//	file:line: [analyzer] message
+//
+// and exits nonzero if any finding survives suppression
+// ("//lint:ignore <analyzer> reason" on or above the offending line).
+//
+// Usage:
+//
+//	blocktri-lint ./...             # lint the whole module (the default)
+//	blocktri-lint -floateq=false ./...
+//	blocktri-lint -only commtag ./...
+//	blocktri-lint -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"blocktri/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	analyzers := analysis.Analyzers()
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer ("+a.Doc+")")
+	}
+	only := flag.String("only", "", "comma-separated list of analyzers to run (overrides the per-analyzer flags)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	verbose := flag.Bool("v", false, "also report how many findings were suppressed")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	// The loader always analyzes the whole module containing the working
+	// directory; "./..." is accepted for familiarity, anything narrower is
+	// not supported.
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "." {
+			fmt.Fprintf(os.Stderr, "blocktri-lint: only module-wide runs are supported; got %q (use ./...)\n", arg)
+			return 2
+		}
+	}
+
+	if *only != "" {
+		selected := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := enabled[name]; !ok {
+				fmt.Fprintf(os.Stderr, "blocktri-lint: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			selected[name] = true
+		}
+		for name, on := range enabled {
+			*on = selected[name]
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blocktri-lint: %v\n", err)
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blocktri-lint: %v\n", err)
+		return 2
+	}
+	m, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "blocktri-lint: %v\n", err)
+		return 2
+	}
+	sup := analysis.CollectSuppressions(m)
+
+	var findings []analysis.Finding
+	suppressed := 0
+	for _, a := range analyzers {
+		if !*enabled[a.Name] {
+			continue
+		}
+		all := a.Run(m)
+		kept := analysis.FilterSuppressed(all, sup)
+		suppressed += len(all) - len(kept)
+		findings = append(findings, kept...)
+	}
+	analysis.SortFindings(findings)
+
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", name, f.Pos.Line, f.Analyzer, f.Message)
+	}
+	if *verbose && suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "blocktri-lint: %d finding(s) suppressed by lint:ignore directives\n", suppressed)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "blocktri-lint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The host module is loaded once per test binary: fixture packages import
+// the real mat and comm packages, and the stdlib source importer's cache is
+// shared through the module's loader.
+var (
+	hostOnce sync.Once
+	hostMod  *Module
+	hostErr  error
+)
+
+func hostModule(t *testing.T) *Module {
+	t.Helper()
+	hostOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			hostErr = err
+			return
+		}
+		hostMod, hostErr = LoadModule(root)
+	})
+	if hostErr != nil {
+		t.Fatalf("loading host module: %v", hostErr)
+	}
+	return hostMod
+}
+
+// want expectation comments in fixtures look like
+//
+//	mat.Mul(a, a, b) // want `destination a may alias`
+//
+// with one backtick-quoted regexp per expected finding on that line.
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	re    *regexp.Regexp
+	met   bool
+	lit   string
+	place string // file:line
+}
+
+// collectWants extracts the expectation comments of a fixture module.
+func collectWants(t *testing.T, m *Module) map[string][]*expectation {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					place := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+					lits := wantRe.FindAllStringSubmatch(rest, -1)
+					if len(lits) == 0 {
+						t.Fatalf("%s: malformed want comment (no backtick-quoted regexp): %s", place, c.Text)
+					}
+					for _, lit := range lits {
+						re, err := regexp.Compile(lit[1])
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", place, lit[1], err)
+						}
+						wants[place] = append(wants[place], &expectation{re: re, lit: lit[1], place: place})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func placeOf(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+}
+
+// TestAnalyzersOnFixtures runs every analyzer over its fixture package under
+// testdata/src/<name> and requires an exact bijection between the surviving
+// findings and the fixture's want comments: every want matched, no finding
+// unaccounted for.
+func TestAnalyzersOnFixtures(t *testing.T) {
+	host := hostModule(t)
+	for _, a := range Analyzers() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", a.Name)
+			fix, err := host.LoadFixture(dir, "fix/"+a.Name)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			wants := collectWants(t, fix)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no want comments; a fixture that expects nothing tests nothing", dir)
+			}
+
+			all := a.Run(fix)
+			findings := FilterSuppressed(all, CollectSuppressions(fix))
+			SortFindings(findings)
+
+			for _, f := range findings {
+				if f.Analyzer != a.Name {
+					t.Errorf("finding attributed to %q, want %q: %s", f.Analyzer, a.Name, f)
+				}
+				place := placeOf(f.Pos)
+				matched := false
+				for _, w := range wants[place] {
+					if !w.met && w.re.MatchString(f.Message) {
+						w.met = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected finding at %s: %s", place, f.Message)
+				}
+			}
+			var places []string
+			for place := range wants {
+				places = append(places, place)
+			}
+			sort.Strings(places)
+			for _, place := range places {
+				for _, w := range wants[place] {
+					if !w.met {
+						t.Errorf("expected finding at %s matching %q, got none", place, w.lit)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRepoLintsClean asserts the acceptance criterion that blocktri-lint
+// exits zero on the module itself: every analyzer runs over the real
+// packages and no finding survives the repo's lint:ignore directives.
+func TestRepoLintsClean(t *testing.T) {
+	m := hostModule(t)
+	sup := CollectSuppressions(m)
+	for _, a := range Analyzers() {
+		findings := FilterSuppressed(a.Run(m), sup)
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text  string
+		names []string
+		ok    bool
+	}{
+		{"//lint:ignore floateq the reason", []string{"floateq"}, true},
+		{"//lint:ignore matalias,commtag shared buffer", []string{"matalias", "commtag"}, true},
+		{"//lint:ignore\tfloateq tab separator", []string{"floateq"}, true},
+		{"//lint:ignore", nil, false},              // no analyzer named
+		{"//lint:ignoreXfloateq oops", nil, false}, // no separator
+		{"// lint:ignore floateq spaced prefix", nil, false},
+		{"// ordinary comment", nil, false},
+	}
+	for _, c := range cases {
+		names, ok := parseIgnore(c.text)
+		if ok != c.ok {
+			t.Errorf("parseIgnore(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if fmt.Sprint(names) != fmt.Sprint(c.names) {
+			t.Errorf("parseIgnore(%q) = %v, want %v", c.text, names, c.names)
+		}
+	}
+}
+
+func TestSuppressedLines(t *testing.T) {
+	s := &Suppressions{byFile: map[string]map[int]map[string]bool{
+		"a.go": {10: {"floateq": true}},
+	}}
+	pos := func(line int) token.Position { return token.Position{Filename: "a.go", Line: line} }
+	if !s.Suppressed("floateq", pos(10)) {
+		t.Error("same-line directive should suppress")
+	}
+	if !s.Suppressed("floateq", pos(11)) {
+		t.Error("directive on the line above should suppress")
+	}
+	if s.Suppressed("floateq", pos(12)) {
+		t.Error("directive two lines above must not suppress")
+	}
+	if s.Suppressed("matalias", pos(10)) {
+		t.Error("directive must only silence the named analyzer")
+	}
+	if s.Suppressed("floateq", token.Position{Filename: "b.go", Line: 10}) {
+		t.Error("directive must only apply to its own file")
+	}
+}
+
+// TestFixtureSuppression pins the end-to-end suppression path: the floateq
+// fixture contains one deliberately suppressed finding, so the raw run must
+// report exactly one more finding than the filtered run.
+func TestFixtureSuppression(t *testing.T) {
+	host := hostModule(t)
+	fix, err := host.LoadFixture(filepath.Join("testdata", "src", "floateq"), "fix/floateq-sup")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	all := floatEqAnalyzer.Run(fix)
+	kept := FilterSuppressed(all, CollectSuppressions(fix))
+	if len(all) != len(kept)+1 {
+		t.Errorf("raw findings %d, after suppression %d; want exactly one suppressed", len(all), len(kept))
+	}
+}

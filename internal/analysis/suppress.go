@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A comment of the form
+//
+//	//lint:ignore analyzer1,analyzer2 reason
+//
+// suppresses findings from the named analyzers on the directive's own line
+// (end-of-line form) and on the line immediately below it (own-line form).
+// The reason is free text; writing one is strongly encouraged because a
+// suppression without a rationale is indistinguishable from a silenced bug.
+
+const ignorePrefix = "//lint:ignore"
+
+// Suppressions records, per file and line, which analyzers are silenced.
+type Suppressions struct {
+	// byFile maps filename -> line -> set of analyzer names.
+	byFile map[string]map[int]map[string]bool
+}
+
+// CollectSuppressions scans every comment in the module for lint:ignore
+// directives.
+func CollectSuppressions(m *Module) *Suppressions {
+	s := &Suppressions{byFile: make(map[string]map[int]map[string]bool)}
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					names, ok := parseIgnore(c.Text)
+					if !ok {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					lines := s.byFile[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]map[string]bool)
+						s.byFile[pos.Filename] = lines
+					}
+					set := lines[pos.Line]
+					if set == nil {
+						set = make(map[string]bool)
+						lines[pos.Line] = set
+					}
+					for _, n := range names {
+						set[n] = true
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// parseIgnore extracts the analyzer names from a lint:ignore comment.
+func parseIgnore(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, ignorePrefix)
+	if !ok {
+		return nil, false
+	}
+	// Require a separator so "//lint:ignoreXXX" is not a directive.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	var names []string
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
+}
+
+// Suppressed reports whether a finding by the named analyzer at pos is
+// covered by a directive on the same line or the line above.
+func (s *Suppressions) Suppressed(analyzer string, pos token.Position) bool {
+	lines := s.byFile[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range [2]int{pos.Line, pos.Line - 1} {
+		if set := lines[l]; set != nil && set[analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// FilterSuppressed drops findings covered by suppression directives and
+// returns the kept findings.
+func FilterSuppressed(fs []Finding, s *Suppressions) []Finding {
+	out := fs[:0:0]
+	for _, f := range fs {
+		if !s.Suppressed(f.Analyzer, f.Pos) {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+// Package commtag is a fixture for the commtag analyzer.
+package commtag
+
+import "blocktri/internal/comm"
+
+const (
+	tagPaired   = 100
+	tagSendOnly = 101
+	tagRecvOnly = 102
+	tagXchg     = 103
+)
+
+func pairs(c *comm.Comm, data []float64) {
+	if c.Rank() == 0 {
+		c.Send(1, tagPaired, data) // ok: received below
+	} else {
+		_ = c.Recv(0, tagPaired)
+	}
+	c.Send(1, tagSendOnly, data)     // want `tag 101 is sent but never received`
+	_ = c.Recv(0, tagRecvOnly)       // want `tag 102 is received but never sent`
+	_ = c.Exchange(1, tagXchg, data) // ok: Exchange is both send and receive
+}
+
+func computed(c *comm.Comm, round int, data []float64) {
+	c.Send(1, tagPaired+round, data) // want `non-constant tag expression tagPaired \+ round in comm\.Send`
+	_ = c.Recv(0, tagPaired+round)   // want `non-constant tag expression tagPaired \+ round in comm\.Recv`
+}
+
+func forwarded(c *comm.Comm, tag int, data []float64) {
+	c.Send(1, tag, data) // ok: forwarded tag parameter
+	_ = c.Recv(0, tag)   // ok
+}

@@ -1,0 +1,26 @@
+// Package floateq is a fixture for the floateq analyzer.
+package floateq
+
+func compare(a, b float64) bool {
+	if a == b { // want `exact floating-point comparison a == b`
+		return true
+	}
+	return a != b // want `exact floating-point comparison a != b`
+}
+
+func pivot(p float64) bool {
+	return p == 0 // ok: exact-zero singularity check is allowlisted
+}
+
+func nanProbe(x float64) bool {
+	return x != x // ok: the standard NaN probe
+}
+
+func suppressed(beta float64) bool {
+	//lint:ignore floateq 1 is the exact no-op sentinel for this parameter
+	return beta == 1 // finding produced but suppressed: no want
+}
+
+func ints(i, j int) bool {
+	return i == j // ok: integers compare exactly
+}

@@ -1,0 +1,42 @@
+// Package matalias is a fixture for the matalias analyzer. Expectation
+// comments are of the form: want `regexp` (one per expected finding on the
+// line).
+package matalias
+
+import "blocktri/internal/mat"
+
+func direct(a, b, dst *mat.Matrix) {
+	mat.Mul(dst, a, b)      // ok: distinct storage
+	mat.Mul(a, a, b)        // want `destination a may alias source a in mat\.Mul`
+	mat.MulAdd(b, a, b)     // want `destination b may alias source b in mat\.MulAdd`
+	mat.Transpose(a, a)     // want `destination a may alias source a in mat\.Transpose`
+	mat.GEMM(1, a, b, 0, a) // want `destination a may alias source a in mat\.GEMM`
+	mat.Add(a, a, b)        // ok: Add is aliasing-safe
+}
+
+func views(a, b *mat.Matrix) {
+	v := a.View(0, 0, 2, 2)
+	mat.Mul(v, a, b)        // want `destination v may alias source a in mat\.Mul`
+	mat.Mul(a.Row(0), a, b) // want `destination a\.Row\(0\) may alias source a in mat\.Mul`
+	w := mat.New(2, 2)
+	mat.Mul(w, a, b) // ok: w is freshly allocated
+	c := a.Clone()
+	mat.Mul(c, a, b) // ok: Clone copies the storage
+}
+
+func sharedData(a, b *mat.Matrix) {
+	alias := &mat.Matrix{Rows: a.Rows, Cols: a.Cols, Stride: a.Stride, Data: a.Data}
+	mat.Mul(alias, a, b) // want `destination alias may alias source a in mat\.Mul`
+}
+
+func solveTo(lu *mat.LU, b *mat.Matrix) {
+	lu.SolveTo(b, b) // want `destination b may alias source b in mat\.SolveTo`
+	dst := mat.New(b.Rows, b.Cols)
+	lu.SolveTo(dst, b) // ok
+}
+
+func reassigned(a *mat.Matrix) {
+	at := a
+	at = mat.New(a.Cols, a.Rows)
+	mat.Transpose(at, a) // ok: at was rebound to fresh storage above
+}

@@ -1,0 +1,39 @@
+// Package panicpolicy is a fixture for the panicpolicy analyzer.
+package panicpolicy
+
+import (
+	"errors"
+
+	"blocktri/internal/mat"
+)
+
+var errBoom = errors.New("boom")
+
+func panics(err error) {
+	if err != nil {
+		panic(err) // want `panic\(err\): return the error instead`
+	}
+	panic("shape mismatch") // ok: a message, not an error value
+}
+
+func panicsNamed() {
+	panic(errBoom) // want `panic\(errBoom\): return the error instead`
+}
+
+func discards(a, b *mat.Matrix) {
+	mat.Solve(a, b)         // want `error result of Solve is discarded`
+	x, _ := mat.Solve(a, b) // want `error result of Solve is assigned to _`
+	_ = x
+	inv, _ := mat.Inverse(a) // want `error result of Inverse is assigned to _`
+	_ = inv
+	y, err := mat.Solve(a, b) // ok: error is bound
+	if err != nil {
+		return
+	}
+	_ = y
+}
+
+func luSolveOK(lu *mat.LU, b *mat.Matrix) {
+	x := lu.Solve(b) // ok: (*LU).Solve has no error result
+	_ = x
+}

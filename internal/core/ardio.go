@@ -317,6 +317,7 @@ func safeDecodeLU(fs []float64) (*mat.LU, error) {
 	}
 	n := fs[0]
 	const maxDim = 1 << 20
+	//lint:ignore floateq integrality check on an untrusted header; Trunc equality is the exact property validated.
 	if n != math.Trunc(n) || n < 0 || n > maxDim {
 		return nil, fmt.Errorf("core: implausible LU dimension %v", n)
 	}
@@ -325,6 +326,7 @@ func safeDecodeLU(fs []float64) (*mat.LU, error) {
 	}
 	for i := 0; i < int(n); i++ {
 		p := fs[2+i]
+		//lint:ignore floateq integrality check on an untrusted pivot index; Trunc equality is the exact property validated.
 		if p != math.Trunc(p) || p < 0 || p >= n {
 			return nil, fmt.Errorf("core: LU pivot %v out of range", p)
 		}
@@ -342,6 +344,7 @@ func safeDecodeMatrix(fs []float64) (*mat.Matrix, error) {
 	}
 	r, c := fs[0], fs[1]
 	const maxDim = 1 << 24
+	//lint:ignore floateq integrality check on untrusted dimensions; Trunc equality is the exact property validated.
 	if r != math.Trunc(r) || c != math.Trunc(c) ||
 		r < 0 || c < 0 || r > maxDim || c > maxDim {
 		return nil, fmt.Errorf("core: implausible matrix dimensions %v x %v", r, c)

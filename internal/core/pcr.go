@@ -258,11 +258,11 @@ func (s *PCR) factorRank(c *comm.Comm, es *errSlot) int64 {
 		var row pcrRow
 		ms := comm.DecodeMatrices(payload[2:])
 		k := 0
-		if payload[0] == 1 {
+		if payload[0] != 0 {
 			row.l = ms[k]
 			k++
 		}
-		if payload[1] == 1 {
+		if payload[1] != 0 {
 			row.u = ms[k]
 			k++
 		}

@@ -23,7 +23,7 @@ func init() {
 	Register(Experiment{ID: "E12", Title: "Batch width: per-RHS cost vs columns per solve", Run: runE12})
 }
 
-func runE12(quick bool) []*Table {
+func runE12(quick bool) ([]*Table, error) {
 	defer serialKernels()()
 	n, m, p := 256, 16, 8
 	widths := []int{1, 2, 4, 8, 16, 32}
@@ -40,25 +40,29 @@ func runE12(quick bool) []*Table {
 	for _, r := range widths {
 		b := a.RandomRHS(r, randFor(int64(19+r)))
 		rd := core.NewRD(a, core.Config{World: comm.NewWorld(p)})
-		rdT := Measure(1, reps, func() {
-			if _, err := rd.Solve(b); err != nil {
-				panic(err)
-			}
+		rdT, err := MeasureErr(1, reps, func() error {
+			_, err := rd.Solve(b)
+			return err
 		})
+		if err != nil {
+			return nil, fmt.Errorf("RD solve (R=%d): %w", r, err)
+		}
 		ard := core.NewARD(a, core.Config{World: comm.NewWorld(p)})
 		if err := ard.Factor(); err != nil {
-			panic(err)
+			return nil, fmt.Errorf("ARD factor (R=%d): %w", r, err)
 		}
-		ardT := Measure(1, reps, func() {
-			if _, err := ard.Solve(b); err != nil {
-				panic(err)
-			}
+		ardT, err := MeasureErr(1, reps, func() error {
+			_, err := ard.Solve(b)
+			return err
 		})
+		if err != nil {
+			return nil, fmt.Errorf("ARD solve (R=%d): %w", r, err)
+		}
 		t.AddRow(r,
 			rdT/time.Duration(r),
 			ardT/time.Duration(r),
 			seconds(rdT)/seconds(ardT),
 			ard.Stats().Flops/int64(r))
 	}
-	return []*Table{t}
+	return []*Table{t}, nil
 }

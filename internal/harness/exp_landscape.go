@@ -17,7 +17,7 @@ func init() {
 	Register(Experiment{ID: "E13", Title: "Solver landscape: all algorithms side by side", Run: runE13})
 }
 
-func runE13(quick bool) []*Table {
+func runE13(quick bool) ([]*Table, error) {
 	defer serialKernels()()
 	n, m, p := 512, 16, 8
 	reps := 3
@@ -38,77 +38,90 @@ func runE13(quick bool) []*Table {
 		FactorStats() core.SolveStats
 		Stats() core.SolveStats
 	}
-	addFactored := func(s factoredSolver) {
-		factor := Measure(0, 1, func() {
-			if err := s.Factor(); err != nil {
-				panic(err)
-			}
+	addFactored := func(s factoredSolver) error {
+		factor, err := MeasureErr(0, 1, s.Factor)
+		if err != nil {
+			return fmt.Errorf("%s factor: %w", s.Name(), err)
+		}
+		solve, err := MeasureErr(1, reps, func() error {
+			_, err := s.Solve(b)
+			return err
 		})
-		solve := Measure(1, reps, func() {
-			if _, err := s.Solve(b); err != nil {
-				panic(err)
-			}
-		})
+		if err != nil {
+			return fmt.Errorf("%s solve: %w", s.Name(), err)
+		}
 		x, err := s.Solve(b)
 		if err != nil {
-			panic(err)
+			return fmt.Errorf("%s solve: %w", s.Name(), err)
 		}
 		st := s.Stats()
 		t.AddRow(s.Name(), factor, solve, st.Flops, st.Comm.BytesSent,
 			s.FactorStats().StoredBytes, fmt.Sprintf("%.1e", a.RelResidual(x, b)))
+		return nil
 	}
 
 	// Thomas (sequential). Capture the stored-bytes figure right after
 	// Factor, before the solves overwrite the stats.
 	th := core.NewThomas(a)
-	thFactor := Measure(0, 1, func() {
-		if err := th.Factor(); err != nil {
-			panic(err)
-		}
-	})
+	thFactor, err := MeasureErr(0, 1, th.Factor)
+	if err != nil {
+		return nil, fmt.Errorf("Thomas factor: %w", err)
+	}
 	thStored := th.Stats().StoredBytes
-	thSolve := Measure(1, reps, func() {
-		if _, err := th.Solve(b); err != nil {
-			panic(err)
-		}
+	thSolve, err := MeasureErr(1, reps, func() error {
+		_, err := th.Solve(b)
+		return err
 	})
+	if err != nil {
+		return nil, fmt.Errorf("Thomas solve: %w", err)
+	}
 	xt, err := th.Solve(b)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("Thomas solve: %w", err)
 	}
 	t.AddRow(th.Name()+" (P=1)", thFactor, thSolve, th.Stats().Flops, 0,
 		thStored, fmt.Sprintf("%.1e", a.RelResidual(xt, b)))
 
 	// BCR (sequential, no factor split).
 	bcr := core.NewBCR(a)
-	bcrSolve := Measure(1, reps, func() {
-		if _, err := bcr.Solve(b); err != nil {
-			panic(err)
-		}
+	bcrSolve, err := MeasureErr(1, reps, func() error {
+		_, err := bcr.Solve(b)
+		return err
 	})
+	if err != nil {
+		return nil, fmt.Errorf("BCR solve: %w", err)
+	}
 	xb, err := bcr.Solve(b)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("BCR solve: %w", err)
 	}
 	t.AddRow(bcr.Name()+" (P=1)", "-", bcrSolve, bcr.Stats().Flops, 0, 0,
 		fmt.Sprintf("%.1e", a.RelResidual(xb, b)))
 
 	// RD (no reuse).
 	rd := core.NewRD(a, core.Config{World: comm.NewWorld(p)})
-	rdSolve := Measure(1, reps, func() {
-		if _, err := rd.Solve(b); err != nil {
-			panic(err)
-		}
+	rdSolve, err := MeasureErr(1, reps, func() error {
+		_, err := rd.Solve(b)
+		return err
 	})
+	if err != nil {
+		return nil, fmt.Errorf("RD solve: %w", err)
+	}
 	xr, err := rd.Solve(b)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("RD solve: %w", err)
 	}
 	t.AddRow(rd.Name(), "-", rdSolve, rd.Stats().Flops, rd.Stats().Comm.BytesSent, 0,
 		fmt.Sprintf("%.1e", a.RelResidual(xr, b)))
 
-	addFactored(core.NewARD(a, core.Config{World: comm.NewWorld(p)}))
-	addFactored(core.NewSpike(a, core.Config{World: comm.NewWorld(p)}))
-	addFactored(core.NewPCR(a, core.Config{World: comm.NewWorld(p)}))
-	return []*Table{t}
+	for _, s := range []factoredSolver{
+		core.NewARD(a, core.Config{World: comm.NewWorld(p)}),
+		core.NewSpike(a, core.Config{World: comm.NewWorld(p)}),
+		core.NewPCR(a, core.Config{World: comm.NewWorld(p)}),
+	} {
+		if err := addFactored(s); err != nil {
+			return nil, err
+		}
+	}
+	return []*Table{t}, nil
 }

@@ -22,7 +22,7 @@ func init() {
 	Register(Experiment{ID: "E10", Title: "Model validation: measured vs analytic", Run: runE10})
 }
 
-func runE6(quick bool) []*Table {
+func runE6(quick bool) ([]*Table, error) {
 	defer serialKernels()()
 	sizes := []struct{ n, m int }{{16, 4}, {64, 4}, {64, 8}}
 	if quick {
@@ -57,10 +57,10 @@ func runE6(quick bool) []*Table {
 			t.AddRow(row...)
 		}
 	}
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
-func runE7(quick bool) []*Table {
+func runE7(quick bool) ([]*Table, error) {
 	defer serialKernels()()
 	n, m := 1024, 16
 	ps := []int{2, 4, 8, 16, 32}
@@ -73,7 +73,10 @@ func runE7(quick bool) []*Table {
 	t.Note = "per Kogge-Stone round RD ships the (2M)^2 matrix + 2M vector; ARD's solve phase ships only the 2M vector — a ~2M reduction in scan payload"
 	for _, p := range ps {
 		a := workload.Build(workload.Oscillatory, n, m, 8)
-		st := measureSolvers(a, p, 1, 1)
+		st, err := measureSolvers(a, p, 1, 1)
+		if err != nil {
+			return nil, fmt.Errorf("P=%d: %w", p, err)
+		}
 		rdB, ardB := st.rdStats.Comm.BytesSent, st.ardSolveSt.Comm.BytesSent
 		ratio := 0.0
 		if ardB > 0 {
@@ -84,10 +87,10 @@ func runE7(quick bool) []*Table {
 			fmt.Sprintf("%.2e s", st.rdStats.MaxSimComm),
 			fmt.Sprintf("%.2e s", st.ardSolveSt.MaxSimComm))
 	}
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
-func runE8(quick bool) []*Table {
+func runE8(quick bool) ([]*Table, error) {
 	defer serialKernels()()
 	n, m, p := 512, 16, 8
 	reps := 3
@@ -96,7 +99,10 @@ func runE8(quick bool) []*Table {
 		reps = 2
 	}
 	a := workload.Build(workload.Oscillatory, n, m, 10)
-	st := measureSolvers(a, p, 1, reps)
+	st, err := measureSolvers(a, p, 1, reps)
+	if err != nil {
+		return nil, err
+	}
 
 	t := NewTable(fmt.Sprintf("E8: ARD phase breakdown (oscillatory N=%d M=%d P=%d, R=1)", n, m, p),
 		"phase", "time", "flops", "bytes sent")
@@ -115,10 +121,10 @@ func runE8(quick bool) []*Table {
 		cross.AddRow("ARD total < RD total", "never (no per-solve gain)")
 	}
 	cross.Note = "R* = t_factor / (t_rd - t_ard): the number of right-hand sides after which ARD's one-time factor cost is repaid"
-	return []*Table{t, cross}
+	return []*Table{t, cross}, nil
 }
 
-func runE9(quick bool) []*Table {
+func runE9(quick bool) ([]*Table, error) {
 	defer serialKernels()()
 	n, m := 1024, 8
 	ps := []int{4, 8, 16, 32}
@@ -136,11 +142,13 @@ func runE9(quick bool) []*Table {
 		row := []any{p}
 		for _, sched := range []prefix.Schedule{prefix.KoggeStone, prefix.BrentKung, prefix.Chain} {
 			rd := core.NewRD(a, core.Config{World: comm.NewWorld(p), Schedule: sched})
-			d := Measure(1, reps, func() {
-				if _, err := rd.Solve(b); err != nil {
-					panic(err)
-				}
+			d, err := MeasureErr(1, reps, func() error {
+				_, err := rd.Solve(b)
+				return err
 			})
+			if err != nil {
+				return nil, fmt.Errorf("schedule %v P=%d: %w", sched, p, err)
+			}
 			row = append(row, d)
 		}
 		row = append(row, prefix.Rounds(prefix.KoggeStone, p),
@@ -151,7 +159,10 @@ func runE9(quick bool) []*Table {
 	// Thomas crossover: sequential Thomas vs the distributed algorithms'
 	// modeled critical path.
 	n2 := n
-	machine := calibratedMachine(n2, m)
+	machine, err := calibratedMachine(n2, m)
+	if err != nil {
+		return nil, err
+	}
 	cross := NewTable(fmt.Sprintf("E9b: Thomas vs RD/ARD modeled critical path (N=%d M=%d, R=1)", n2, m),
 		"P", "Thomas (P=1)", "RD model", "ARD-solve model")
 	for _, p := range []int{1, 2, 4, 8, 16, 32, 64} {
@@ -165,10 +176,10 @@ func runE9(quick bool) []*Table {
 			time.Duration(machine.Time(costmodel.ARDSolve(prm))*1e9))
 	}
 	cross.Note = "the distributed algorithms overtake single-rank Thomas once P covers the ~8x transfer-matrix work overhead"
-	return []*Table{t, cross}
+	return []*Table{t, cross}, nil
 }
 
-func runE10(quick bool) []*Table {
+func runE10(quick bool) ([]*Table, error) {
 	defer serialKernels()()
 	grid := []costmodel.Params{
 		{N: 128, M: 4, P: 4, R: 1}, {N: 128, M: 8, P: 8, R: 2},
@@ -182,13 +193,19 @@ func runE10(quick bool) []*Table {
 		"N", "M", "P", "R", "RD flops meas", "RD flops model", "ARD flops meas", "ARD flops model", "RD wall", "RD predicted")
 	for _, prm := range grid {
 		a := workload.Build(workload.Oscillatory, prm.N, prm.M, 13)
-		st := measureSolvers(a, prm.P, prm.R, reps)
-		machine := calibratedMachine(prm.N, prm.M)
+		st, err := measureSolvers(a, prm.P, prm.R, reps)
+		if err != nil {
+			return nil, fmt.Errorf("N=%d M=%d: %w", prm.N, prm.M, err)
+		}
+		machine, err := calibratedMachine(prm.N, prm.M)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(prm.N, prm.M, prm.P, prm.R,
 			st.rdStats.Flops, costmodel.RDSolve(prm).Flops,
 			st.ardSolveSt.Flops, costmodel.ARDSolve(prm).Flops,
 			st.rdSolve, time.Duration(machine.Time(costmodel.RDSolve(prm))*1e9))
 	}
 	t.Note = "measured flop counters must equal the model exactly (double-entry); wall vs predicted agrees up to scheduling overhead since ranks timeshare one host"
-	return []*Table{t}
+	return []*Table{t}, nil
 }

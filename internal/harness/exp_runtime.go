@@ -25,7 +25,7 @@ func init() {
 	Register(Experiment{ID: "E5", Title: "Runtime vs block size M", Run: runE5})
 }
 
-func runE1(quick bool) []*Table {
+func runE1(quick bool) ([]*Table, error) {
 	defer serialKernels()()
 	n, m, p := 512, 16, 8
 	rs := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
@@ -36,7 +36,10 @@ func runE1(quick bool) []*Table {
 		reps = 2
 	}
 	a := workload.Build(workload.Oscillatory, n, m, 1)
-	st := measureSolvers(a, p, 1, reps)
+	st, err := measureSolvers(a, p, 1, reps)
+	if err != nil {
+		return nil, err
+	}
 
 	t := NewTable(fmt.Sprintf("E1: total time for R sequential solves (oscillatory N=%d M=%d P=%d)", n, m, p),
 		"R", "RD total", "ARD total", "speedup", "model speedup")
@@ -67,32 +70,40 @@ func runE1(quick bool) []*Table {
 	for _, r := range rs[:3] {
 		rd := core.NewRD(a, core.Config{World: comm.NewWorld(p)})
 		stream := workload.NewRHSStream(a, 1, 42)
-		rdDirect := Measure(0, 1, func() {
+		rdDirect, err := MeasureErr(0, 1, func() error {
 			for i := 0; i < r; i++ {
 				if _, err := rd.Solve(stream.Next()); err != nil {
-					panic(err)
+					return err
 				}
 			}
+			return nil
 		})
+		if err != nil {
+			return nil, fmt.Errorf("E1b RD direct (R=%d): %w", r, err)
+		}
 		ard := core.NewARD(a, core.Config{World: comm.NewWorld(p)})
 		stream2 := workload.NewRHSStream(a, 1, 42)
-		ardDirect := Measure(0, 1, func() {
+		ardDirect, err := MeasureErr(0, 1, func() error {
 			if err := ard.Factor(); err != nil {
-				panic(err)
+				return err
 			}
 			for i := 0; i < r; i++ {
 				if _, err := ard.Solve(stream2.Next()); err != nil {
-					panic(err)
+					return err
 				}
 			}
+			return nil
 		})
+		if err != nil {
+			return nil, fmt.Errorf("E1b ARD direct (R=%d): %w", r, err)
+		}
 		check.AddRow(r, rdDirect, time.Duration(r)*st.rdSolve,
 			ardDirect, st.ardFactor+time.Duration(r)*st.ardSolve)
 	}
-	return []*Table{t, check}
+	return []*Table{t, check}, nil
 }
 
-func runE2(quick bool) []*Table {
+func runE2(quick bool) ([]*Table, error) {
 	defer serialKernels()()
 	n, p := 256, 8
 	ms := []int{4, 8, 16, 32}
@@ -115,7 +126,10 @@ func runE2(quick bool) []*Table {
 	perM := make(map[int]times)
 	for _, m := range ms {
 		a := workload.Build(workload.Oscillatory, n, m, 2)
-		st := measureSolvers(a, p, 1, reps)
+		st, err := measureSolvers(a, p, 1, reps)
+		if err != nil {
+			return nil, fmt.Errorf("M=%d: %w", m, err)
+		}
 		perM[m] = times{seconds(st.rdSolve), seconds(st.ardFactor), seconds(st.ardSolve)}
 	}
 	chart := NewChart("Figure E2: measured ARD speedup vs R", "R", "speedup")
@@ -138,10 +152,10 @@ func runE2(quick bool) []*Table {
 		chart.AddSeries(fmt.Sprintf("M=%d", m), xs, series[m])
 	}
 	t.Chart = chart
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
-func runE3(quick bool) []*Table {
+func runE3(quick bool) ([]*Table, error) {
 	defer serialKernels()()
 	n, m := 2048, 8
 	ps := []int{1, 2, 4, 8, 16, 32, 64}
@@ -150,13 +164,19 @@ func runE3(quick bool) []*Table {
 		n = 256
 		ps = []int{1, 2, 4, 8}
 	}
-	machine := calibratedMachine(n, m)
+	machine, err := calibratedMachine(n, m)
+	if err != nil {
+		return nil, err
+	}
 	t := NewTable(fmt.Sprintf("E3: strong scaling (oscillatory N=%d M=%d, R=1 per solve)", n, m),
 		"P", "RD wall", "ARD-solve wall", "RD model", "ARD-solve model", "RD rounds")
 	t.Note = "wall = single-host measurement (ranks timeshare cores); model = per-rank critical path + alpha-beta network (the distributed-machine prediction, N/P + log P shape)"
 	for _, p := range ps {
 		a := workload.Build(workload.Oscillatory, n, m, 3)
-		st := measureSolvers(a, p, 1, reps)
+		st, err := measureSolvers(a, p, 1, reps)
+		if err != nil {
+			return nil, fmt.Errorf("P=%d: %w", p, err)
+		}
 		prm := costmodel.Params{N: n, M: m, P: p, R: 1}
 		rdC := costmodel.RDSolve(prm)
 		ardC := costmodel.ARDSolve(prm)
@@ -165,10 +185,10 @@ func runE3(quick bool) []*Table {
 			time.Duration(machine.Time(ardC)*1e9),
 			rdC.Rounds)
 	}
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
-func runE4(quick bool) []*Table {
+func runE4(quick bool) ([]*Table, error) {
 	defer serialKernels()()
 	m, p := 8, 8
 	ns := []int{128, 256, 512, 1024, 2048, 4096}
@@ -184,7 +204,10 @@ func runE4(quick bool) []*Table {
 	var xs, rdYs, ardYs, thYs []float64
 	for _, n := range ns {
 		a := workload.Build(workload.Oscillatory, n, m, 4)
-		st := measureSolvers(a, p, 1, reps)
+		st, err := measureSolvers(a, p, 1, reps)
+		if err != nil {
+			return nil, fmt.Errorf("N=%d: %w", n, err)
+		}
 		t.AddRow(n, st.rdSolve, st.ardFactor, st.ardSolve, st.thSolve,
 			st.rdStats.Flops, st.ardSolveSt.Flops)
 		xs = append(xs, float64(n))
@@ -196,10 +219,10 @@ func runE4(quick bool) []*Table {
 	chart.AddSeries("ARD", xs, ardYs)
 	chart.AddSeries("Thomas", xs, thYs)
 	t.Chart = chart
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
-func runE5(quick bool) []*Table {
+func runE5(quick bool) ([]*Table, error) {
 	defer serialKernels()()
 	n, p := 256, 8
 	ms := []int{2, 4, 8, 16, 32}
@@ -213,30 +236,35 @@ func runE5(quick bool) []*Table {
 	t.Note = "RD grows ~M^3 per solve, ARD ~M^2: the ratio grows ~linearly in M"
 	for _, m := range ms {
 		a := workload.Build(workload.Oscillatory, n, m, 5)
-		st := measureSolvers(a, p, 1, reps)
+		st, err := measureSolvers(a, p, 1, reps)
+		if err != nil {
+			return nil, fmt.Errorf("M=%d: %w", m, err)
+		}
 		prm := costmodel.Params{N: n, M: m, P: p, R: 1}
 		modelRatio := float64(costmodel.RDSolve(prm).MaxRankFlops) /
 			float64(costmodel.ARDSolve(prm).MaxRankFlops)
 		t.AddRow(m, st.rdSolve, st.ardSolve,
 			seconds(st.rdSolve)/seconds(st.ardSolve), modelRatio)
 	}
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // calibratedMachine builds a machine model whose flop rate is measured on
 // this host with a representative kernel, so model times are comparable to
 // wall times.
-func calibratedMachine(n, m int) costmodel.Machine {
+func calibratedMachine(n, m int) (costmodel.Machine, error) {
 	a := workload.Build(workload.Oscillatory, min(n, 256), m, 9)
 	rd := core.NewRD(a, core.Config{World: comm.NewWorld(1)})
 	b := a.RandomRHS(1, randFor(17))
-	d := Measure(1, 2, func() {
-		if _, err := rd.Solve(b); err != nil {
-			panic(err)
-		}
+	d, err := MeasureErr(1, 2, func() error {
+		_, err := rd.Solve(b)
+		return err
 	})
+	if err != nil {
+		return costmodel.Machine{}, fmt.Errorf("calibration solve: %w", err)
+	}
 	rate := float64(rd.Stats().Flops) / seconds(d)
-	return costmodel.Machine{FlopsPerSec: rate, Net: comm.DefaultCostModel}
+	return costmodel.Machine{FlopsPerSec: rate, Net: comm.DefaultCostModel}, nil
 }
 
 func min(a, b int) int {

@@ -18,7 +18,7 @@ func init() {
 	Register(Experiment{ID: "E11", Title: "ARD vs SPIKE: the stable alternative", Run: runE11})
 }
 
-func runE11(quick bool) []*Table {
+func runE11(quick bool) ([]*Table, error) {
 	defer serialKernels()()
 	n, m, p := 512, 16, 8
 	reps := 3
@@ -33,42 +33,45 @@ func runE11(quick bool) []*Table {
 	b := a.RandomRHS(1, randFor(15))
 
 	ard := core.NewARD(a, core.Config{World: comm.NewWorld(p)})
-	ardFactor := Measure(0, 1, func() {
-		if err := ard.Factor(); err != nil {
-			panic(err)
-		}
+	ardFactor, err := MeasureErr(0, 1, ard.Factor)
+	if err != nil {
+		return nil, fmt.Errorf("ARD factor: %w", err)
+	}
+	ardSolve, err := MeasureErr(1, reps, func() error {
+		_, err := ard.Solve(b)
+		return err
 	})
-	ardSolve := Measure(1, reps, func() {
-		if _, err := ard.Solve(b); err != nil {
-			panic(err)
-		}
-	})
+	if err != nil {
+		return nil, fmt.Errorf("ARD solve: %w", err)
+	}
 	perf.AddRow("ARD", ardFactor, ardSolve, ard.Stats().Flops, ard.Stats().Comm.BytesSent)
 
 	sp := core.NewSpike(a, core.Config{World: comm.NewWorld(p)})
-	spFactor := Measure(0, 1, func() {
-		if err := sp.Factor(); err != nil {
-			panic(err)
-		}
+	spFactor, err := MeasureErr(0, 1, sp.Factor)
+	if err != nil {
+		return nil, fmt.Errorf("SPIKE factor: %w", err)
+	}
+	spSolve, err := MeasureErr(1, reps, func() error {
+		_, err := sp.Solve(b)
+		return err
 	})
-	spSolve := Measure(1, reps, func() {
-		if _, err := sp.Solve(b); err != nil {
-			panic(err)
-		}
-	})
+	if err != nil {
+		return nil, fmt.Errorf("SPIKE solve: %w", err)
+	}
 	perf.AddRow("SPIKE", spFactor, spSolve, sp.Stats().Flops, sp.Stats().Comm.BytesSent)
 
 	th := core.NewThomas(a)
-	thFactor := Measure(0, 1, func() {
-		if err := th.Factor(); err != nil {
-			panic(err)
-		}
+	thFactor, err := MeasureErr(0, 1, th.Factor)
+	if err != nil {
+		return nil, fmt.Errorf("Thomas factor: %w", err)
+	}
+	thSolve, err := MeasureErr(1, reps, func() error {
+		_, err := th.Solve(b)
+		return err
 	})
-	thSolve := Measure(1, reps, func() {
-		if _, err := th.Solve(b); err != nil {
-			panic(err)
-		}
-	})
+	if err != nil {
+		return nil, fmt.Errorf("Thomas solve: %w", err)
+	}
 	perf.AddRow("Thomas (P=1)", thFactor, thSolve, th.Stats().Flops, 0)
 	perf.Note = "ARD's solve phase moves less data per round (2M vs SPIKE's interface gathers) and does O(M^2) work per row; SPIKE's reduced phase is O(P) rather than O(log P)"
 
@@ -96,5 +99,5 @@ func runE11(quick bool) []*Table {
 		}
 	}
 	acc.Note = "SPIKE (block-LU based) is accurate on every family; ARD inherits recursive doubling's dependence on the recurrence growth"
-	return []*Table{perf, acc}
+	return []*Table{perf, acc}, nil
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -35,54 +36,72 @@ type solverTimes struct {
 }
 
 // measureSolvers times the strategies on matrix a with p ranks and r
-// right-hand-side columns per call, averaging solve times over reps.
-func measureSolvers(a *blocktri.Matrix, p, r, reps int) solverTimes {
+// right-hand-side columns per call, averaging solve times over reps. A
+// solver failure (singular diagonal, shape mismatch) aborts the
+// measurement and is returned to the experiment runner.
+func measureSolvers(a *blocktri.Matrix, p, r, reps int) (solverTimes, error) {
 	var st solverTimes
 	rng := rand.New(rand.NewSource(int64(a.N*1000003 + a.M*101 + p)))
 	b := a.RandomRHS(r, rng)
 
 	rd := core.NewRD(a, core.Config{World: comm.NewWorld(p)})
-	st.rdSolve = Measure(1, reps, func() {
-		if _, err := rd.Solve(b); err != nil {
-			panic(err)
-		}
+	d, err := MeasureErr(1, reps, func() error {
+		_, err := rd.Solve(b)
+		return err
 	})
+	if err != nil {
+		return st, fmt.Errorf("RD solve: %w", err)
+	}
+	st.rdSolve = d
 	st.rdStats = rd.Stats()
 
-	st.ardFactor = Measure(0, 1, func() {
+	d, err = MeasureErr(0, 1, func() error {
 		tmp := core.NewARD(a, core.Config{World: comm.NewWorld(p)})
 		if err := tmp.Factor(); err != nil {
-			panic(err)
+			return err
 		}
 		st.ardFactorSt = tmp.FactorStats()
+		return nil
 	})
+	if err != nil {
+		return st, fmt.Errorf("ARD factor: %w", err)
+	}
+	st.ardFactor = d
 	ard := core.NewARD(a, core.Config{World: comm.NewWorld(p)})
 	if err := ard.Factor(); err != nil {
-		panic(err)
+		return st, fmt.Errorf("ARD factor: %w", err)
 	}
-	st.ardSolve = Measure(1, reps, func() {
-		if _, err := ard.Solve(b); err != nil {
-			panic(err)
-		}
+	d, err = MeasureErr(1, reps, func() error {
+		_, err := ard.Solve(b)
+		return err
 	})
+	if err != nil {
+		return st, fmt.Errorf("ARD solve: %w", err)
+	}
+	st.ardSolve = d
 	st.ardSolveSt = ard.Stats()
 
-	st.thFactor = Measure(0, 1, func() {
+	d, err = MeasureErr(0, 1, func() error {
 		tmp := core.NewThomas(a)
-		if err := tmp.Factor(); err != nil {
-			panic(err)
-		}
+		return tmp.Factor()
 	})
+	if err != nil {
+		return st, fmt.Errorf("Thomas factor: %w", err)
+	}
+	st.thFactor = d
 	th := core.NewThomas(a)
 	if err := th.Factor(); err != nil {
-		panic(err)
+		return st, fmt.Errorf("Thomas factor: %w", err)
 	}
-	st.thSolve = Measure(1, reps, func() {
-		if _, err := th.Solve(b); err != nil {
-			panic(err)
-		}
+	d, err = MeasureErr(1, reps, func() error {
+		_, err := th.Solve(b)
+		return err
 	})
-	return st
+	if err != nil {
+		return st, fmt.Errorf("Thomas solve: %w", err)
+	}
+	st.thSolve = d
+	return st, nil
 }
 
 // seconds converts a duration to float seconds for ratio arithmetic.

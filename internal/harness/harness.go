@@ -32,6 +32,31 @@ func Measure(warmup, reps int, f func()) time.Duration {
 	return best
 }
 
+// MeasureErr is Measure for operations that can fail: warmup and timed
+// iterations run f, and the first error aborts the measurement. A solver
+// that rejects its input (ErrSingular, a shape mismatch) reports that up
+// through the experiment instead of taking the process down mid-suite.
+func MeasureErr(warmup, reps int, f func() error) (time.Duration, error) {
+	for i := 0; i < warmup; i++ {
+		if err := f(); err != nil {
+			return 0, err
+		}
+	}
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		err := f()
+		d := time.Since(start)
+		if err != nil {
+			return 0, err
+		}
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
 // MeasureMean is Measure with a mean estimator, for operations whose cost
 // varies with call history (e.g. allocation-heavy phases).
 func MeasureMean(warmup, reps int, f func()) time.Duration {
@@ -160,8 +185,10 @@ type Experiment struct {
 	ID    string
 	Title string
 	// Run produces the experiment's tables. quick shrinks problem sizes
-	// for fast smoke runs.
-	Run func(quick bool) []*Table
+	// for fast smoke runs. A non-nil error means the experiment could not
+	// complete (a solver rejected its input); partial tables may still be
+	// returned alongside it.
+	Run func(quick bool) ([]*Table, error)
 }
 
 // registry of experiments, populated by experiments.go.

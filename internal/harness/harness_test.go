@@ -1,10 +1,44 @@
 package harness
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
 )
+
+func TestMeasureErr(t *testing.T) {
+	calls := 0
+	d, err := MeasureErr(1, 2, func() error {
+		calls++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("MeasureErr: %v", err)
+	}
+	if d <= 0 {
+		t.Fatalf("MeasureErr returned non-positive duration %v", d)
+	}
+	if calls != 3 {
+		t.Fatalf("MeasureErr ran f %d times, want 3 (1 warmup + 2 reps)", calls)
+	}
+
+	boom := errors.New("boom")
+	calls = 0
+	_, err = MeasureErr(0, 5, func() error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("MeasureErr error = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Fatalf("MeasureErr kept running after failure: %d calls", calls)
+	}
+}
 
 func TestTableRender(t *testing.T) {
 	tb := NewTable("demo", "a", "b")
@@ -92,7 +126,10 @@ func TestQuickExperimentsProduceTables(t *testing.T) {
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tables := e.Run(true)
+			tables, err := e.Run(true)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
 			if len(tables) == 0 {
 				t.Fatalf("%s produced no tables", e.ID)
 			}

@@ -29,7 +29,7 @@ func GEMM(alpha float64, a, b *Matrix, beta float64, dst *Matrix) {
 	}
 	if beta == 0 {
 		dst.Zero()
-	} else if beta != 1 {
+	} else if beta != 1 { //lint:ignore floateq beta==1 is the exact no-scale sentinel, per BLAS convention.
 		Scale(dst, beta)
 	}
 	if alpha == 0 || a.Rows == 0 || a.Cols == 0 || b.Cols == 0 {

@@ -88,7 +88,8 @@ func (lu *LU) factorize() error {
 func (lu *LU) N() int { return lu.factors.Rows }
 
 // Solve computes X such that A*X = B for the factored A and returns it.
-// B may have any number of columns and is not modified.
+// B may have any number of columns and is not modified: the result is
+// freshly allocated and shares no storage with b (aliasing safe).
 func (lu *LU) Solve(b *Matrix) *Matrix {
 	x := b.Clone()
 	lu.SolveInPlace(x)
@@ -104,7 +105,8 @@ func (lu *LU) SolveTo(dst, b *Matrix) {
 
 // SolveInPlace overwrites b (n x r) with A^{-1} b: it applies the row
 // permutation, then forward substitution with unit-L, then back
-// substitution with U.
+// substitution with U. b is the destination by design; no other aliasing
+// is involved.
 func (lu *LU) SolveInPlace(b *Matrix) {
 	n := lu.factors.Rows
 	if b.Rows != n {
@@ -156,7 +158,8 @@ func (lu *LU) SolveInPlace(b *Matrix) {
 	}
 }
 
-// Inverse returns A^{-1} for the factored A.
+// Inverse returns A^{-1} for the factored A. The result is freshly
+// allocated and shares no storage with the factorization (aliasing safe).
 func (lu *LU) Inverse() *Matrix {
 	return lu.Solve(Identity(lu.factors.Rows))
 }
@@ -172,6 +175,8 @@ func (lu *LU) Det() float64 {
 }
 
 // Solve is a convenience one-shot: it factors a and solves A*X = B.
+// Neither a nor b is modified; the result is freshly allocated (aliasing
+// safe).
 func Solve(a, b *Matrix) (*Matrix, error) {
 	lu, err := Factor(a)
 	if err != nil {
@@ -180,7 +185,8 @@ func Solve(a, b *Matrix) (*Matrix, error) {
 	return lu.Solve(b), nil
 }
 
-// Inverse is a convenience one-shot matrix inverse.
+// Inverse is a convenience one-shot matrix inverse. a is not modified; the
+// result is freshly allocated (aliasing safe).
 func Inverse(a *Matrix) (*Matrix, error) {
 	lu, err := Factor(a)
 	if err != nil {

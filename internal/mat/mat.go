@@ -173,6 +173,7 @@ func (m *Matrix) Equal(n *Matrix) bool {
 		a := m.Data[i*m.Stride : i*m.Stride+m.Cols]
 		b := n.Data[i*n.Stride : i*n.Stride+n.Cols]
 		for j := range a {
+			//lint:ignore floateq Equal's contract is exact elementwise equality; EqualApprox is the tolerant variant.
 			if a[j] != b[j] {
 				return false
 			}

@@ -154,3 +154,63 @@ func TestAddSubRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMulAliasingHazard pins down WHY Mul documents "dst must not alias a
+// or b": GEMM zeroes dst before accumulating, so an aliased call reads
+// partially overwritten sources and silently produces the wrong product.
+// This is the regression test for the matalias analyzer's contract — if
+// the kernel is ever rewritten to tolerate aliasing, this test (and the
+// doc comments, and the analyzer's kernel table) must change together.
+func TestMulAliasingHazard(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := Random(4, 4, rng)
+	b := Random(4, 4, rng)
+
+	want := New(4, 4)
+	Mul(want, a, b) // distinct storage: the true product
+
+	aliased := a.Clone()
+	Mul(aliased, aliased, b) // dst aliases a — the documented misuse
+	if aliased.EqualApprox(want, 1e-12) {
+		t.Fatal("aliased Mul(a, a, b) matched the true product; the kernel now tolerates aliasing and the mat docs plus the matalias analyzer are out of date")
+	}
+}
+
+// TestLUSolveLeavesRHSUnmodified pins (*LU).Solve's aliasing-safe
+// contract: b is cloned internally, so the caller's right-hand side must
+// come back bit-identical.
+func TestLUSolveLeavesRHSUnmodified(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	a := RandomDiagDominant(5, 2, rng)
+	lu, err := Factor(a)
+	if err != nil {
+		t.Fatalf("Factor: %v", err)
+	}
+	b := Random(5, 2, rng)
+	saved := b.Clone()
+	x := lu.Solve(b)
+	if !b.Equal(saved) {
+		t.Fatal("LU.Solve modified its right-hand side; its doc promises b is untouched")
+	}
+	if x == b || &x.Data[0] == &b.Data[0] {
+		t.Fatal("LU.Solve returned a matrix sharing storage with b")
+	}
+}
+
+// TestSolveToDistinctStorage exercises SolveTo's documented-correct path
+// (distinct dst and b). The "dst must not alias b" contract itself is
+// enforced statically by the matalias analyzer rather than at runtime.
+func TestSolveToDistinctStorage(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	a := RandomDiagDominant(4, 2, rng)
+	lu, err := Factor(a)
+	if err != nil {
+		t.Fatalf("Factor: %v", err)
+	}
+	b := Random(4, 1, rng)
+	dst := New(4, 1)
+	lu.SolveTo(dst, b)
+	if !dst.EqualApprox(lu.Solve(b), 1e-13) {
+		t.Fatal("SolveTo with distinct storage disagrees with Solve")
+	}
+}
