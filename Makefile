@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench verify experiments experiments-quick ci clean
+.PHONY: all build vet lint test race bench bench-baseline bench-compare verify experiments experiments-quick ci clean
 
 all: build vet lint test
 
@@ -26,6 +26,14 @@ ci:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Refresh the committed perf baselines (BENCH_*.json) after an intentional
+# performance change; ci compares against them and fails on regression.
+bench-baseline:
+	$(GO) run ./cmd/blocktri-bench -perf baseline
+
+bench-compare:
+	$(GO) run ./cmd/blocktri-bench -perf compare
 
 verify:
 	$(GO) run ./cmd/blocktri-verify -trials 25

@@ -318,9 +318,9 @@ func BenchmarkKernelLU(b *testing.B) {
 
 // quietKernels disables nested GEMM parallelism during benchmarks.
 func quietKernels() func() {
-	old := mat.Parallel
-	mat.Parallel = false
-	return func() { mat.Parallel = old }
+	old := mat.ParallelEnabled()
+	mat.SetParallel(false)
+	return func() { mat.SetParallel(old) }
 }
 
 // Guard: the benchmark workload must be numerically sane, otherwise the
@@ -360,4 +360,36 @@ func BenchmarkE13_Landscape(b *testing.B) {
 	b.Run("BCR", func(b *testing.B) {
 		solveLoop(b, blocktri.NewBCR(a), rhs)
 	})
+}
+
+// BenchmarkARDSolve is the perf-regression anchor for the allocation-free
+// solve path (cmd/blocktri-bench -perf tracks the same configuration): the
+// headline N=512, M=16, P=8 system solved into a reused destination for a
+// single right-hand side and for a batch of 64. After the warm-up solve the
+// path performs zero heap allocations per op.
+func BenchmarkARDSolve(b *testing.B) {
+	defer quietKernels()()
+	a := benchMatrix(512, 16)
+	ard := blocktri.NewARD(a, blocktri.Config{World: blocktri.NewWorld(8)})
+	if err := ard.Factor(); err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range []int{1, 64} {
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			rhs := benchRHS(a, r, 2)
+			x := blocktri.NewDenseMatrix(rhs.Rows, rhs.Cols)
+			if err := ard.SolveTo(x, rhs); err != nil { // warm the arenas
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ard.SolveTo(x, rhs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(ard.Stats().Flops), "flops/op")
+		})
+	}
 }

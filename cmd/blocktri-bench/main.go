@@ -7,6 +7,11 @@
 //	blocktri-bench -exp all         # the full suite
 //	blocktri-bench -exp E3 -quick   # shrunken sizes for a fast smoke run
 //	blocktri-bench -exp E1 -csv out # also write out/E1-*.csv
+//
+// The perf-regression harness (see perf.go) lives behind -perf:
+//
+//	blocktri-bench -perf baseline   # (re)write BENCH_*.json baselines
+//	blocktri-bench -perf compare    # re-measure, exit 1 on regression
 package main
 
 import (
@@ -24,7 +29,13 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink problem sizes for a fast run")
 	csvDir := flag.String("csv", "", "directory to also write CSV tables into")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	perfMode := flag.String("perf", "", "perf harness mode: 'baseline' or 'compare'")
+	perfDir := flag.String("perf-dir", ".", "directory holding the BENCH_*.json baselines")
 	flag.Parse()
+
+	if *perfMode != "" {
+		os.Exit(runPerf(*perfMode, *perfDir))
+	}
 
 	if *list {
 		for _, e := range harness.Experiments() {

@@ -1,0 +1,261 @@
+// Perf-regression harness: a fixed set of micro-benchmarks over the two
+// hot paths this repo optimizes — the allocation-free ARD solve and the
+// GEMM kernel — with committed JSON baselines and a compare mode for CI.
+//
+//	blocktri-bench -perf baseline   # (re)write BENCH_*.json in -perf-dir
+//	blocktri-bench -perf compare    # re-measure, fail on >15% regression
+//
+// Each measurement is the best of three testing.Benchmark runs (the min
+// damps scheduler and turbo noise, which is ±8% on the reference machine;
+// the 15% gate then only trips on real regressions). Allocation counts are
+// exact and gate at zero tolerance: the arenas either work or they don't.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blocktri"
+	"blocktri/internal/mat"
+	"blocktri/internal/workload"
+)
+
+const (
+	perfSchema = "blocktri-bench/v1"
+	// perfRegressionTol is the relative ns/op slowdown that fails compare
+	// mode.
+	perfRegressionTol = 0.15
+)
+
+// perfEntry is one benchmark's recorded result.
+type perfEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	GFlops      float64 `json:"gflops,omitempty"`
+}
+
+// perfSuite is the on-disk format of a BENCH_*.json file.
+type perfSuite struct {
+	Schema  string      `json:"schema"`
+	Suite   string      `json:"suite"`
+	Entries []perfEntry `json:"entries"`
+}
+
+// bestOf3 runs f under testing.Benchmark three times and returns the run
+// with the lowest ns/op.
+func bestOf3(f func(b *testing.B)) testing.BenchmarkResult {
+	best := testing.Benchmark(f)
+	for i := 0; i < 2; i++ {
+		r := testing.Benchmark(f)
+		if r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	return best
+}
+
+// measureARDSolve benchmarks the factored ARD solve at the paper's headline
+// configuration (N=512, M=16, P=8) for single and batched right-hand
+// sides. GFLOP/s uses the solver's analytic flop count.
+func measureARDSolve() ([]perfEntry, error) {
+	a := workload.Build(workload.Oscillatory, 512, 16, 1)
+	ard := blocktri.NewARD(a, blocktri.Config{World: blocktri.NewWorld(8)})
+	if err := ard.Factor(); err != nil {
+		return nil, fmt.Errorf("ARD factor: %v", err)
+	}
+	var entries []perfEntry
+	for _, r := range []int{1, 64} {
+		rhs := a.RandomRHS(r, rand.New(rand.NewSource(2)))
+		x := blocktri.NewDenseMatrix(rhs.Rows, rhs.Cols)
+		if err := ard.SolveTo(x, rhs); err != nil { // warm the arenas
+			return nil, fmt.Errorf("ARD solve R=%d: %v", r, err)
+		}
+		res := bestOf3(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := ard.SolveTo(x, rhs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		flops := float64(ard.Stats().Flops)
+		entries = append(entries, perfEntry{
+			Name:        fmt.Sprintf("ARDSolve/R=%d", r),
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			GFlops:      flops / float64(res.NsPerOp()),
+		})
+	}
+	return entries, nil
+}
+
+// measureGEMM benchmarks square Mul across the kernel dispatch tiers: plain
+// tiled (16, 32), packed micro-kernel (64, 128).
+func measureGEMM() ([]perfEntry, error) {
+	var entries []perfEntry
+	for _, n := range []int{16, 32, 64, 128} {
+		a := mat.New(n, n)
+		bm := mat.New(n, n)
+		dst := mat.New(n, n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+				bm.Set(i, j, rng.NormFloat64())
+			}
+		}
+		mat.Mul(dst, a, bm) // warm the pack pool
+		res := bestOf3(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mat.Mul(dst, a, bm)
+			}
+		})
+		flops := 2 * float64(n) * float64(n) * float64(n)
+		entries = append(entries, perfEntry{
+			Name:        fmt.Sprintf("GEMM/n=%d", n),
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			GFlops:      flops / float64(res.NsPerOp()),
+		})
+	}
+	return entries, nil
+}
+
+// perfSuites lists the measured suites and their baseline files.
+var perfSuites = []struct {
+	suite   string
+	file    string
+	measure func() ([]perfEntry, error)
+}{
+	{"ard_solve", "BENCH_ard_solve.json", measureARDSolve},
+	{"gemm", "BENCH_gemm.json", measureGEMM},
+}
+
+// runPerf executes the harness in the given mode ("baseline" or "compare")
+// and returns a process exit code.
+func runPerf(mode, dir string) int {
+	// Parallel GEMM fan-out on a loaded CI machine adds noise without
+	// changing what the gate protects (the serial kernels and the arena
+	// discipline), so the harness pins it off, like the Benchmark* suite.
+	prev := mat.ParallelEnabled()
+	mat.SetParallel(false)
+	defer mat.SetParallel(prev)
+
+	switch mode {
+	case "baseline", "compare":
+	default:
+		fmt.Fprintf(os.Stderr, "blocktri-bench: unknown -perf mode %q (want baseline or compare)\n", mode)
+		return 2
+	}
+
+	failed := false
+	for _, s := range perfSuites {
+		entries, err := s.measure()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blocktri-bench: perf %s: %v\n", s.suite, err)
+			return 1
+		}
+		path := filepath.Join(dir, s.file)
+		if mode == "baseline" {
+			out := perfSuite{Schema: perfSchema, Suite: s.suite, Entries: entries}
+			data, err := json.MarshalIndent(out, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "blocktri-bench: perf %s: %v\n", s.suite, err)
+				return 1
+			}
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "blocktri-bench: perf %s: %v\n", s.suite, err)
+				return 1
+			}
+			fmt.Printf("wrote %s (%d entries)\n", path, len(entries))
+			for _, e := range entries {
+				fmt.Printf("  %-16s %12.0f ns/op %6d allocs/op %8.3f GFLOP/s\n",
+					e.Name, e.NsPerOp, e.AllocsPerOp, e.GFlops)
+			}
+			continue
+		}
+		base, err := loadPerfSuite(path, s.suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blocktri-bench: perf %s: %v (run -perf baseline first)\n", s.suite, err)
+			return 1
+		}
+		if !comparePerf(base, entries) {
+			// One retry before declaring a regression: a loaded CI machine
+			// can push a ~1ms benchmark past the gate on scheduling noise
+			// alone, and a real regression fails both rounds.
+			fmt.Printf("  %s: gate failed, re-measuring once\n", s.suite)
+			entries, err = s.measure()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "blocktri-bench: perf %s: %v\n", s.suite, err)
+				return 1
+			}
+			if !comparePerf(base, entries) {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "blocktri-bench: perf compare FAILED")
+		return 1
+	}
+	if mode == "compare" {
+		fmt.Println("perf compare OK")
+	}
+	return 0
+}
+
+// loadPerfSuite reads and validates a baseline file.
+func loadPerfSuite(path, suite string) (perfSuite, error) {
+	var s perfSuite
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %v", path, err)
+	}
+	if s.Schema != perfSchema {
+		return s, fmt.Errorf("%s: schema %q, want %q", path, s.Schema, perfSchema)
+	}
+	if s.Suite != suite {
+		return s, fmt.Errorf("%s: suite %q, want %q", path, s.Suite, suite)
+	}
+	return s, nil
+}
+
+// comparePerf gates current entries against the baseline: ns/op may not
+// regress by more than perfRegressionTol, and allocs/op may not increase at
+// all. Entries missing from the baseline are reported informationally.
+func comparePerf(base perfSuite, cur []perfEntry) bool {
+	byName := make(map[string]perfEntry, len(base.Entries))
+	for _, e := range base.Entries {
+		byName[e.Name] = e
+	}
+	ok := true
+	for _, e := range cur {
+		b, found := byName[e.Name]
+		if !found {
+			fmt.Printf("  %-16s %12.0f ns/op (no baseline)\n", e.Name, e.NsPerOp)
+			continue
+		}
+		ratio := e.NsPerOp / b.NsPerOp
+		status := "ok"
+		if ratio > 1+perfRegressionTol {
+			status = fmt.Sprintf("REGRESSION (+%.0f%% > %.0f%%)", 100*(ratio-1), 100*perfRegressionTol)
+			ok = false
+		}
+		if e.AllocsPerOp > b.AllocsPerOp {
+			status = fmt.Sprintf("ALLOC REGRESSION (%d > %d)", e.AllocsPerOp, b.AllocsPerOp)
+			ok = false
+		}
+		fmt.Printf("  %-16s %12.0f ns/op (base %12.0f, %+5.1f%%) %6d allocs  %s\n",
+			e.Name, e.NsPerOp, b.NsPerOp, 100*(ratio-1), e.AllocsPerOp, status)
+	}
+	return ok
+}

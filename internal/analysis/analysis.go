@@ -53,6 +53,7 @@ func Analyzers() []*Analyzer {
 		commTagAnalyzer,
 		floatEqAnalyzer,
 		panicPolicyAnalyzer,
+		hotAllocAnalyzer,
 	}
 }
 

@@ -1,0 +1,45 @@
+// Package hotalloc is a fixture for the hotalloc analyzer. Expectation
+// comments are of the form: want `regexp` (one per expected finding on the
+// line).
+package hotalloc
+
+import "blocktri/internal/mat"
+
+// Solve is on the solve path: every mat.New* call inside it is a finding.
+func Solve(b *mat.Matrix) *mat.Matrix {
+	x := mat.New(b.Rows, b.Cols) // want `mat\.New allocates inside solve-phase function Solve`
+	ws := mat.NewWorkspace()     // want `mat\.NewWorkspace allocates inside solve-phase function Solve`
+	tmp := ws.Get(b.Rows, b.Cols)
+	x.CopyFrom(tmp)
+	return x
+}
+
+// solveRank matches case-insensitively, and nested function literals run
+// once per solve so they are scanned too.
+func solveRank(b *mat.Matrix) {
+	body := func() *mat.Matrix {
+		return mat.NewFromSlice(1, 1, []float64{0}) // want `mat\.NewFromSlice allocates inside solve-phase function solveRank`
+	}
+	_ = body
+}
+
+// SolveTo is the reuse path done right: workspace checkouts are not
+// allocations, so nothing is reported.
+func SolveTo(ws *mat.Workspace, x, b *mat.Matrix) {
+	ws.Reset()
+	tmp := ws.GetNoClear(b.Rows, b.Cols)
+	tmp.CopyFrom(b)
+	x.CopyFrom(tmp)
+}
+
+// Factor is factor-phase code: it may allocate freely, so no finding.
+func Factor(n int) *mat.Matrix {
+	return mat.New(n, n)
+}
+
+// solveWrapped carries the documented escape hatch: the finding is produced
+// but suppressed, so no want comment.
+func solveWrapped(b *mat.Matrix) *mat.Matrix {
+	//lint:ignore hotalloc the wrapper returns a caller-owned result
+	return mat.New(b.Rows, b.Cols)
+}

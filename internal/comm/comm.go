@@ -10,10 +10,18 @@
 // (latency-bandwidth) cost model, so experiments can report both measured
 // wall-clock times (real goroutine parallelism up to GOMAXPROCS) and
 // modeled network costs for processor counts beyond the host's cores.
+//
+// The runtime is allocation-free in steady state: ranks run on persistent
+// worker goroutines, message payloads are copied into buffers recycled
+// through a per-world free list (receivers return them with Release), and
+// mailbox queues keep their capacity across messages. Repeated Run calls on
+// a warmed-up world therefore put no pressure on the garbage collector.
 package comm
 
 import (
 	"fmt"
+	"math/bits"
+	"runtime"
 	"runtime/debug"
 	"sync"
 )
@@ -66,24 +74,37 @@ type message struct {
 	bytes int
 }
 
+// msgQueue is one (source, tag) FIFO. Delivered messages advance head
+// instead of re-slicing, so the items array keeps its capacity and a
+// drained queue is reset in place — steady-state puts allocate nothing.
+type msgQueue struct {
+	items []message
+	head  int
+}
+
 // mailbox is the per-rank incoming message store with FIFO ordering per
 // (source, tag) pair.
 type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queues  map[msgKey][]message
+	queues  map[msgKey]*msgQueue
 	aborted bool
 }
 
 func newMailbox() *mailbox {
-	mb := &mailbox{queues: make(map[msgKey][]message)}
+	mb := &mailbox{queues: make(map[msgKey]*msgQueue)}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
 
 func (mb *mailbox) put(key msgKey, m message) {
 	mb.mu.Lock()
-	mb.queues[key] = append(mb.queues[key], m)
+	q := mb.queues[key]
+	if q == nil {
+		q = new(msgQueue)
+		mb.queues[key] = q
+	}
+	q.items = append(q.items, m)
 	mb.mu.Unlock()
 	mb.cond.Broadcast()
 }
@@ -91,20 +112,23 @@ func (mb *mailbox) put(key msgKey, m message) {
 func (mb *mailbox) get(key msgKey) message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	for len(mb.queues[key]) == 0 {
+	for {
+		q := mb.queues[key]
+		if q != nil && q.head < len(q.items) {
+			m := q.items[q.head]
+			q.items[q.head] = message{} // drop the payload reference
+			q.head++
+			if q.head == len(q.items) {
+				q.items = q.items[:0]
+				q.head = 0
+			}
+			return m
+		}
 		if mb.aborted {
-			panic("comm: world aborted (another rank panicked)")
+			panic(cascadeMsg)
 		}
 		mb.cond.Wait()
 	}
-	q := mb.queues[key]
-	m := q[0]
-	if len(q) == 1 {
-		delete(mb.queues, key)
-	} else {
-		mb.queues[key] = q[1:]
-	}
-	return m
 }
 
 // abort wakes every blocked receiver so a panic on one rank cascades
@@ -128,12 +152,50 @@ func (mb *mailbox) pending() int {
 	defer mb.mu.Unlock()
 	n := 0
 	for _, q := range mb.queues {
-		n += len(q)
+		n += len(q.items) - q.head
 	}
 	return n
 }
 
-// World is a set of P communicating ranks.
+// bufPool recycles payload buffers in power-of-two size classes. It is a
+// typed free list guarded by a mutex (not a sync.Pool) so checkouts box no
+// interfaces and steady state allocates nothing.
+type bufPool struct {
+	mu      sync.Mutex
+	classes [48][][]float64
+}
+
+func (p *bufPool) get(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2 n)
+	p.mu.Lock()
+	list := p.classes[c]
+	if k := len(list); k > 0 {
+		buf := list[k-1]
+		list[k-1] = nil
+		p.classes[c] = list[:k-1]
+		p.mu.Unlock()
+		return buf[:n]
+	}
+	p.mu.Unlock()
+	return make([]float64, n, 1<<c)
+}
+
+func (p *bufPool) put(buf []float64) {
+	if cap(buf) == 0 {
+		return
+	}
+	c := bits.Len(uint(cap(buf))) - 1 // floor(log2 cap)
+	p.mu.Lock()
+	p.classes[c] = append(p.classes[c], buf[:cap(buf)])
+	p.mu.Unlock()
+}
+
+// World is a set of P communicating ranks. The first Run starts one
+// persistent worker goroutine per rank; the workers idle between Runs and
+// exit when the World is garbage collected.
 type World struct {
 	P     int
 	Model CostModel
@@ -141,6 +203,14 @@ type World struct {
 	boxes []*mailbox
 	stats []Stats
 	mu    sync.Mutex
+
+	pool bufPool
+
+	workersOnce sync.Once
+	jobs        []chan job
+	comms       []*Comm
+	panics      []any
+	wg          sync.WaitGroup
 }
 
 // NewWorld returns a world of p ranks using the default cost model.
@@ -159,9 +229,10 @@ func NewWorld(p int) *World {
 // Comm is one rank's endpoint in a World. A Comm must only be used from
 // the goroutine running that rank.
 type Comm struct {
-	world *World
-	rank  int
-	stats Stats
+	world   *World
+	rank    int
+	stats   Stats
+	scratch []float64 // persistent encode buffer for the *Into collectives
 }
 
 // Rank returns this endpoint's rank in [0, Size).
@@ -176,50 +247,104 @@ func (c *Comm) Stats() Stats { return c.stats }
 // ResetStats zeroes this rank's counters.
 func (c *Comm) ResetStats() { c.stats = Stats{} }
 
+// job is one rank's share of a Run, delivered to its persistent worker.
+type job struct {
+	w    *World
+	rank int
+	body func(c *Comm)
+}
+
+// run executes the job body with the rank's persistent Comm, reproducing
+// Run's historical per-goroutine semantics: fresh stats, panic capture with
+// stack, world-wide abort so blocked ranks unwind, and a stats merge that
+// is skipped when the body panicked.
+func (j job) run() {
+	w, rank := j.w, j.rank
+	defer w.wg.Done()
+	defer func() {
+		if p := recover(); p != nil {
+			if s, ok := p.(string); ok && s == cascadeMsg {
+				w.panics[rank] = p
+			} else {
+				// Preserve the failing rank's stack; the re-panic in Run
+				// otherwise hides where it happened.
+				w.panics[rank] = fmt.Sprintf("%v\n%s", p, debug.Stack())
+			}
+			// Wake every rank blocked on a receive so the whole world
+			// unwinds instead of deadlocking.
+			for _, mb := range w.boxes {
+				mb.abort()
+			}
+		}
+	}()
+	c := w.comms[rank]
+	c.stats = Stats{}
+	j.body(c)
+	w.mu.Lock()
+	w.stats[rank].Add(c.stats)
+	w.mu.Unlock()
+}
+
+// rankWorker is the persistent per-rank loop. It deliberately holds no
+// *World reference while idle (only its two channels), so an unreachable
+// World's finalizer can close stop and reap the workers.
+func rankWorker(jobs chan job, stop chan struct{}) {
+	for {
+		select {
+		case j := <-jobs:
+			j.run()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// ensureWorkers starts the persistent rank workers on first use.
+func (w *World) ensureWorkers() {
+	w.workersOnce.Do(func() {
+		w.jobs = make([]chan job, w.P)
+		w.comms = make([]*Comm, w.P)
+		w.panics = make([]any, w.P)
+		stop := make(chan struct{})
+		for r := 0; r < w.P; r++ {
+			w.jobs[r] = make(chan job, 1)
+			w.comms[r] = &Comm{world: w, rank: r}
+			go rankWorker(w.jobs[r], stop)
+		}
+		// The closure must not capture w, or the World could never become
+		// unreachable and the workers would leak.
+		runtime.SetFinalizer(w, func(*World) { close(stop) })
+	})
+}
+
 // Run executes body on p ranks concurrently and blocks until every rank
 // returns. A panic on any rank is re-raised on the caller (after all other
 // ranks finish or panic) with the rank identified. Per-rank stats are
 // retained on the World and can be collected with TotalStats.
+//
+// Run dispatches to persistent per-rank workers, so a warmed-up world
+// executes it without heap allocation. Runs on one World must be
+// sequential: concurrent Run calls would interleave their messages in the
+// shared mailboxes.
 func (w *World) Run(body func(c *Comm)) {
+	w.ensureWorkers()
 	// Reset any abort state left by a previous panicked Run so the world
 	// stays usable.
 	for _, mb := range w.boxes {
 		mb.clearAbort()
 	}
-	var wg sync.WaitGroup
-	panics := make([]any, w.P)
-	for r := 0; r < w.P; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					if s, ok := p.(string); ok && s == cascadeMsg {
-						panics[rank] = p
-					} else {
-						// Preserve the failing rank's stack; the re-panic
-						// in Run otherwise hides where it happened.
-						panics[rank] = fmt.Sprintf("%v\n%s", p, debug.Stack())
-					}
-					// Wake every rank blocked on a receive so the whole
-					// world unwinds instead of deadlocking.
-					for _, mb := range w.boxes {
-						mb.abort()
-					}
-				}
-			}()
-			c := &Comm{world: w, rank: rank}
-			body(c)
-			w.mu.Lock()
-			w.stats[rank].Add(c.stats)
-			w.mu.Unlock()
-		}(r)
+	for i := range w.panics {
+		w.panics[i] = nil
 	}
-	wg.Wait()
+	w.wg.Add(w.P)
+	for r := 0; r < w.P; r++ {
+		w.jobs[r] <- job{w: w, rank: r, body: body}
+	}
+	w.wg.Wait()
 	// Report the original panic, not the cascade panics it triggered on
 	// ranks that were blocked in Recv.
 	first, firstCascade := -1, -1
-	for r, p := range panics {
+	for r, p := range w.panics {
 		if p == nil {
 			continue
 		}
@@ -237,7 +362,7 @@ func (w *World) Run(body func(c *Comm)) {
 		first = firstCascade
 	}
 	if first != -1 {
-		panic(fmt.Sprintf("comm: rank %d panicked: %v", first, panics[first]))
+		panic(fmt.Sprintf("comm: rank %d panicked: %v", first, w.panics[first]))
 	}
 }
 
@@ -288,12 +413,13 @@ func (w *World) Pending() int {
 
 // Send delivers a copy of data to rank dst under the given tag. It never
 // blocks (buffering is unbounded); ordering is FIFO per (source, tag).
-// Sending to self is allowed.
+// Sending to self is allowed. The copy lives in a pooled buffer that the
+// receiver may hand back with Release once done with it.
 func (c *Comm) Send(dst, tag int, data []float64) {
 	if dst < 0 || dst >= c.world.P {
 		panic(fmt.Sprintf("comm: send to invalid rank %d (P=%d)", dst, c.world.P))
 	}
-	cp := make([]float64, len(data))
+	cp := c.world.pool.get(len(data))
 	copy(cp, data)
 	nbytes := 8 * len(data)
 	c.world.boxes[dst].put(msgKey{src: c.rank, tag: tag}, message{data: cp, bytes: nbytes})
@@ -303,7 +429,9 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 }
 
 // Recv blocks until a message from rank src with the given tag arrives and
-// returns its payload.
+// returns its payload. The payload is owned by the caller; callers on a hot
+// path should pass it to Release after consuming it so the buffer recycles
+// instead of reaching the garbage collector.
 func (c *Comm) Recv(src, tag int) []float64 {
 	if src < 0 || src >= c.world.P {
 		panic(fmt.Sprintf("comm: recv from invalid rank %d (P=%d)", src, c.world.P))
@@ -313,6 +441,17 @@ func (c *Comm) Recv(src, tag int) []float64 {
 	c.stats.BytesRecv += int64(m.bytes)
 	c.stats.SimCommTime += c.world.Model.MessageCost(m.bytes)
 	return m.data
+}
+
+// Release returns a payload previously obtained from Recv to the world's
+// buffer pool. Releasing is optional — unreleased buffers are simply
+// garbage collected — but mandatory discipline applies when it is used:
+// only Recv-returned slices may be released, at most once, and never while
+// anything still references them (in particular, never release the root's
+// own slice from Gather/Allgather results, which is the caller's data, and
+// never release a buffer that a decode returned a view of).
+func (c *Comm) Release(buf []float64) {
+	c.world.pool.put(buf)
 }
 
 // SendRecv sends sendData to dst and receives from src under the same tag,

@@ -83,3 +83,79 @@ func (c *Comm) BcastMatrix(root int, m *mat.Matrix) *mat.Matrix {
 	}
 	return DecodeMatrix(c.Bcast(root, payload))
 }
+
+// DecodeMatrixInto copies an EncodeMatrix payload into dst, which must
+// already have the encoded shape. Unlike DecodeMatrix it allocates nothing,
+// so the caller may Release the payload afterwards.
+func DecodeMatrixInto(dst *mat.Matrix, p []float64) {
+	r, c := int(p[0]), int(p[1])
+	if len(p) != 2+r*c {
+		panic("comm: malformed matrix payload")
+	}
+	if dst.Rows != r || dst.Cols != c {
+		panic("comm: DecodeMatrixInto shape mismatch")
+	}
+	k := 2
+	for i := 0; i < r; i++ {
+		copy(dst.Data[i*dst.Stride:i*dst.Stride+c], p[k:k+c])
+		k += c
+	}
+}
+
+// EncodeMatrixInto flattens m into the rank's persistent scratch buffer and
+// returns it. The scratch is overwritten by the next *Into call on the same
+// Comm; Send copies payloads, so handing the scratch straight to Send is
+// safe.
+func (c *Comm) EncodeMatrixInto(m *mat.Matrix) []float64 {
+	n := 2 + m.Rows*m.Cols
+	if cap(c.scratch) < n {
+		c.scratch = make([]float64, n)
+	}
+	out := c.scratch[:n]
+	out[0], out[1] = float64(m.Rows), float64(m.Cols)
+	k := 2
+	for i := 0; i < m.Rows; i++ {
+		copy(out[k:k+m.Cols], m.Data[i*m.Stride:i*m.Stride+m.Cols])
+		k += m.Cols
+	}
+	return out
+}
+
+// BcastMatrixInto broadcasts root's matrix into every rank's preallocated
+// m (all ranks pass a matrix of the broadcast shape; root's holds the
+// data). It follows BcastMatrix's binomial-tree schedule and wire format
+// exactly but allocates nothing in steady state: root encodes into its
+// persistent scratch and receivers decode in place and release the payload.
+func (c *Comm) BcastMatrixInto(root int, m *mat.Matrix) {
+	p := c.Size()
+	if root < 0 || root >= p {
+		panic("comm: BcastMatrixInto invalid root")
+	}
+	rel := (c.Rank() - root + p) % p
+	var payload []float64
+	if rel == 0 {
+		payload = c.EncodeMatrixInto(m)
+	}
+	received := false
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % p
+			payload = c.Recv(src, tagBcast)
+			received = true
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < p {
+			c.Send((rel+mask+root)%p, tagBcast, payload)
+		}
+		mask >>= 1
+	}
+	if received {
+		DecodeMatrixInto(m, payload)
+		c.Release(payload)
+	}
+}

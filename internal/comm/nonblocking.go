@@ -50,7 +50,8 @@ func (r *Request) Test() bool {
 	}
 	mb := r.c.world.boxes[r.c.rank]
 	mb.mu.Lock()
-	avail := len(mb.queues[msgKey{src: r.src, tag: r.tag}]) > 0
+	q := mb.queues[msgKey{src: r.src, tag: r.tag}]
+	avail := q != nil && q.head < len(q.items)
 	mb.mu.Unlock()
 	if avail {
 		r.Wait()

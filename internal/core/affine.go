@@ -60,6 +60,19 @@ func ComposeH(earlierH, laterS, laterH *mat.Matrix) *mat.Matrix {
 	return h
 }
 
+// composeHWS is ComposeH with the result checked out of a workspace. The
+// operations (and therefore the bits) are identical; only the storage
+// discipline differs.
+func composeHWS(ws *mat.Workspace, earlierH, laterS, laterH *mat.Matrix) *mat.Matrix {
+	if earlierH == nil {
+		return laterH
+	}
+	h := ws.GetNoClear(laterS.Rows, earlierH.Cols)
+	mat.Mul(h, laterS, earlierH)
+	mat.Add(h, h, laterH)
+	return h
+}
+
 // affineCodec serializes Affine values for cross-rank scans. The identity
 // is a single 0 flag word.
 func encodeAffine(a Affine) []float64 {
@@ -101,9 +114,41 @@ func decodeSMat(p []float64) *mat.Matrix {
 	return comm.DecodeMatrix(p[1:])
 }
 
-// encodeHMat serializes a bare H matrix (ARD solve phase), nil = identity.
-func encodeHMat(h *mat.Matrix) []float64 { return encodeSMat(h) }
-func decodeHMat(p []float64) *mat.Matrix { return decodeSMat(p) }
+// encodeHMatWS serializes a bare H matrix (ARD solve phase, nil = identity)
+// into workspace scratch, producing the same [flag, rows, cols, data...]
+// wire format as encodeSMat. comm.Send copies payloads, so handing the
+// scratch straight to Send is safe.
+func encodeHMatWS(ws *mat.Workspace, h *mat.Matrix) []float64 {
+	if h == nil {
+		out := ws.Floats(1)
+		out[0] = 0
+		return out
+	}
+	out := ws.Floats(3 + h.Rows*h.Cols)
+	out[0], out[1], out[2] = 1, float64(h.Rows), float64(h.Cols)
+	k := 3
+	for i := 0; i < h.Rows; i++ {
+		copy(out[k:k+h.Cols], h.Data[i*h.Stride:i*h.Stride+h.Cols])
+		k += h.Cols
+	}
+	return out
+}
+
+// decodeHMatWS decodes an encodeHMatWS/encodeSMat payload into workspace
+// storage (nil for the identity flag). It copies, so the caller may Release
+// the payload afterwards.
+func decodeHMatWS(ws *mat.Workspace, p []float64) *mat.Matrix {
+	if p[0] == 0 {
+		return nil
+	}
+	r, c := int(p[1]), int(p[2])
+	if len(p) != 3+r*c {
+		panic("core: malformed H payload")
+	}
+	h := ws.GetNoClear(r, c)
+	copy(h.Data, p[3:])
+	return h
+}
 
 // composeS returns the S part of later ∘ earlier where either side may be
 // nil (identity): Sl*Se.

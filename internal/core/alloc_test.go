@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"blocktri/internal/blocktri"
+	"blocktri/internal/comm"
+	"blocktri/internal/mat"
+)
+
+// TestARDSolveToAllocationFree pins the tentpole property of the workspace
+// rework: once Factor has run and a warm-up solve has grown the per-rank
+// arenas and the comm layer's buffer pools to their high-water marks,
+// ARD.SolveTo performs zero heap allocations per solve, for both single and
+// batched right-hand sides. (testing.AllocsPerRun pins GOMAXPROCS to 1
+// while measuring; the comm runtime's persistent rank workers still make
+// progress because every blocking point yields.)
+func TestARDSolveToAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := blocktri.RandomDiagDominant(64, 8, rng)
+	for _, rhs := range []int{1, 64} {
+		s := NewARD(a, Config{World: comm.NewWorld(4)})
+		if err := s.Factor(); err != nil {
+			t.Fatal(err)
+		}
+		b := a.RandomRHS(rhs, rng)
+		x := mat.New(b.Rows, b.Cols)
+		for i := 0; i < 3; i++ { // warm the arenas and pools
+			if err := s.SolveTo(x, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(5, func() {
+			if err := s.SolveTo(x, b); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("ARD.SolveTo R=%d: %v allocs/op, want 0", rhs, allocs)
+		}
+		// The reused destination must hold exactly what a fresh Solve
+		// produces. (At this N the transfer products have grown too much
+		// for a residual check — that is RD-family conditioning, measured
+		// by PrefixGrowth, not an allocation-path property.)
+		want, err := s.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !x.Equal(want) {
+			t.Errorf("ARD.SolveTo R=%d differs from Solve", rhs)
+		}
+	}
+}
+
+// TestThomasSolveToAllocationFree pins the sequential baseline's reuse
+// path: after the view-header arena warms up, SolveTo allocates nothing.
+func TestThomasSolveToAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := blocktri.RandomDiagDominant(64, 8, rng)
+	th := NewThomas(a)
+	if err := th.Factor(); err != nil {
+		t.Fatal(err)
+	}
+	b := a.RandomRHS(4, rng)
+	x := mat.New(b.Rows, b.Cols)
+	if err := th.SolveTo(x, b); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := th.SolveTo(x, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Thomas.SolveTo: %v allocs/op, want 0", allocs)
+	}
+	if rr := a.RelResidual(x, b); rr > solveTol {
+		t.Errorf("Thomas.SolveTo: relative residual %v", rr)
+	}
+}
+
+// TestSolveToMatchesSolve checks the reuse paths produce bit-identical
+// results to the allocating Solve wrappers.
+func TestSolveToMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := blocktri.RandomDiagDominant(33, 5, rng)
+	b := a.RandomRHS(3, rng)
+
+	ard := NewARD(a, Config{World: comm.NewWorld(3)})
+	want, err := ard.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mat.New(b.Rows, b.Cols)
+	if err := ard.SolveTo(got, b); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Error("ARD.SolveTo differs from ARD.Solve")
+	}
+
+	th := NewThomas(a)
+	wantT, err := th.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotT := mat.New(b.Rows, b.Cols)
+	if err := th.SolveTo(gotT, b); err != nil {
+		t.Fatal(err)
+	}
+	if !gotT.Equal(wantT) {
+		t.Error("Thomas.SolveTo differs from Thomas.Solve")
+	}
+}
+
+// TestSolveToShapeErrors checks the destination-shape validation.
+func TestSolveToShapeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := blocktri.RandomDiagDominant(8, 2, rng)
+	b := a.RandomRHS(2, rng)
+	bad := mat.New(b.Rows, b.Cols+1)
+	if err := NewARD(a, Config{}).SolveTo(bad, b); err == nil {
+		t.Error("ARD.SolveTo accepted a mis-shaped destination")
+	}
+	if err := NewThomas(a).SolveTo(bad, b); err == nil {
+		t.Error("Thomas.SolveTo accepted a mis-shaped destination")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"blocktri/internal/blocktri"
@@ -44,6 +45,14 @@ type ARD struct {
 	growth      float64         // prefix growth diagnostic from Factor
 	factorStats SolveStats
 	solveStats  SolveStats
+
+	// Persistent solve-dispatch state, built once by Factor so that SolveTo
+	// performs no heap allocation: the per-rank flop counters and a reusable
+	// Run body reading the current arguments from solveB/solveX.
+	perRank   []int64
+	solveB    *mat.Matrix
+	solveX    *mat.Matrix
+	solveBody func(c *comm.Comm)
 }
 
 // ardRound records one Kogge-Stone round's entry values from the factor
@@ -61,6 +70,13 @@ type ardRankState struct {
 	localTotalS   *mat.Matrix // S of the local reduce (nil if no elements)
 	rounds        []ardRound
 	piS           *mat.Matrix // final exclusive cross-rank prefix S (nil = identity)
+
+	// ws is the rank's solve-phase scratch arena; fs holds the per-element
+	// F vectors of the solve in flight (arena-backed, rewritten per solve).
+	// After the arena warms up to one solve's high-water mark, SolveTo
+	// allocates nothing.
+	ws *mat.Workspace
+	fs []*mat.Matrix
 }
 
 // NewARD returns an accelerated recursive doubling solver for a over
@@ -165,7 +181,7 @@ func (s *ARD) factorRank(c *comm.Comm, es *errSlot) int64 {
 	if first < 1 {
 		first = 1
 	}
-	st := &ardRankState{lo: lo, hi: hi, first: first}
+	st := &ardRankState{lo: lo, hi: hi, first: first, ws: mat.NewWorkspace()}
 	s.rk[r] = st
 	var fc flopCounter
 
@@ -187,6 +203,7 @@ func (s *ARD) factorRank(c *comm.Comm, es *errSlot) int64 {
 		}
 		st.localTotalS = composeS(st.localTotalS, e.t)
 	}
+	st.fs = make([]*mat.Matrix, len(st.elems))
 	if buildErr != nil {
 		es.set(buildErr)
 	}
@@ -263,36 +280,63 @@ func (s *ARD) factorRank(c *comm.Comm, es *errSlot) int64 {
 }
 
 // Solve implements Solver: the per-right-hand-side O(M^2 R (N/P + log P))
-// phase. It factors on first use.
+// phase. It factors on first use. The result is freshly allocated; batch
+// callers that solve repeatedly should use SolveTo with a reused
+// destination, which allocates nothing once the per-rank arenas are warm.
 func (s *ARD) Solve(b *mat.Matrix) (*mat.Matrix, error) {
 	if err := checkRHS(s.a, b); err != nil {
 		return nil, err
 	}
-	if err := s.Factor(); err != nil {
+	//lint:ignore hotalloc Solve returns a caller-owned result; SolveTo is the reuse path
+	x := mat.New(s.a.N*s.a.M, b.Cols)
+	if err := s.SolveTo(x, b); err != nil {
 		return nil, err
+	}
+	return x, nil
+}
+
+// SolveTo solves A*X = B into the caller-provided x, which must have b's
+// shape and must not alias b. It factors on first use. After a warm-up
+// solve has grown the per-rank workspace arenas and the comm layer's buffer
+// pools to their high-water marks, SolveTo performs no heap allocation.
+func (s *ARD) SolveTo(x, b *mat.Matrix) error {
+	if err := checkRHS(s.a, b); err != nil {
+		return err
+	}
+	if x.Rows != b.Rows || x.Cols != b.Cols {
+		return fmt.Errorf("%w: destination %dx%d for %dx%d right-hand side", ErrShape, x.Rows, x.Cols, b.Rows, b.Cols)
+	}
+	if err := s.Factor(); err != nil {
+		return err
 	}
 	start := time.Now()
 	a := s.a
 	if a.N == 1 {
-		x := s.luRm.Solve(b)
+		s.luRm.SolveTo(x, b)
 		s.solveStats = SolveStats{Flops: luSolveFlops(a.M, b.Cols), MaxRankFlops: luSolveFlops(a.M, b.Cols), Wall: time.Since(start)}
-		return x, nil
+		return nil
 	}
 	w := s.world
 	w.ResetTotals()
-	x := mat.New(a.N*a.M, b.Cols)
-	perRank := make([]int64, w.P)
-	w.Run(func(c *comm.Comm) {
-		perRank[c.Rank()] = s.solveRank(c, b, x)
-	})
+	if s.solveBody == nil {
+		// Built once (also after LoadFactor, which bypasses Factor) so the
+		// steady-state dispatch allocates neither slices nor closures.
+		s.perRank = make([]int64, w.P)
+		s.solveBody = func(c *comm.Comm) {
+			s.perRank[c.Rank()] = s.solveRank(c, s.solveB, s.solveX)
+		}
+	}
+	s.solveB, s.solveX = b, x
+	w.Run(s.solveBody)
+	s.solveB, s.solveX = nil, nil
 	s.solveStats = SolveStats{
 		Comm:         w.TotalStats(),
 		MaxSimComm:   w.MaxSimCommTime(),
 		Wall:         time.Since(start),
 		PrefixGrowth: s.growth,
 	}
-	s.solveStats.mergeRankFlops(perRank)
-	return x, nil
+	s.solveStats.mergeRankFlops(s.perRank)
+	return nil
 }
 
 func (s *ARD) solveRank(c *comm.Comm, b, x *mat.Matrix) int64 {
@@ -300,18 +344,27 @@ func (s *ARD) solveRank(c *comm.Comm, b, x *mat.Matrix) int64 {
 	r, p := c.Rank(), c.Size()
 	m, rhs := a.M, b.Cols
 	st := s.rk[r]
+	ws := st.ws
+	if ws == nil { // rank state restored by LoadFactor rather than Factor
+		//lint:ignore hotalloc one-time lazy init for a LoadFactor-restored rank state
+		ws = mat.NewWorkspace()
+		st.ws = ws
+		st.fs = make([]*mat.Matrix, len(st.elems))
+	}
+	ws.Reset()
 	var fc flopCounter
 
 	// Build the F vectors for this right-hand side and fold them into the
 	// local total H using the stored transfer matrices. The fold ping-pongs
-	// between two scratch buffers instead of allocating per element: the
-	// solve phase is O(M^2) work per element, so allocation would dominate.
-	fs := make([]*mat.Matrix, len(st.elems))
-	hbuf := [2]*mat.Matrix{mat.New(2*m, rhs), mat.New(2*m, rhs)}
+	// between two arena buffers and applies T through its [[TL TR],[I 0]]
+	// block structure: the solve phase is O(M^2) work per element, so both
+	// allocation and the dense 2M x 2M product would dominate.
+	fs := st.fs
+	hbuf := [2]*mat.Matrix{ws.GetNoClear(2*m, rhs), ws.GetNoClear(2*m, rhs)}
 	hcur := 0
 	var localTotalH *mat.Matrix
 	for k, e := range st.elems {
-		fs[k] = e.buildF(m, blockOf(b, m, e.idx-1))
+		fs[k] = e.buildFInto(ws, m, wsBlockOf(ws, b, m, e.idx-1))
 		fc.add(luSolveFlops(m, rhs))
 		if localTotalH == nil {
 			localTotalH = fs[k]
@@ -320,16 +373,19 @@ func (s *ARD) solveRank(c *comm.Comm, b, x *mat.Matrix) int64 {
 		fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
 		dst := hbuf[hcur]
 		hcur ^= 1
-		mat.Mul(dst, e.t, localTotalH)
-		mat.Add(dst, dst, fs[k])
+		applyT(ws, e.t, localTotalH, fs[k], dst, m)
 		localTotalH = dst
 	}
 
-	// Replay the scan on the vector halves only.
+	// Replay the scan on the vector halves only. Payloads are encoded into
+	// arena scratch (Send copies) and received buffers go back to the pool
+	// once decoded.
 	var preH *mat.Matrix
 	if s.sched == prefix.Chain {
 		if r > 0 {
-			preH = decodeHMat(c.Recv(r-1, tagARDSolveScan))
+			payload := c.Recv(r-1, tagARDSolveScan)
+			preH = decodeHMatWS(ws, payload)
+			c.Release(payload)
 		}
 		if r < p-1 {
 			// Inclusive H: combine(pre, local).H = localTotalS*preH + localTotalH.
@@ -337,81 +393,87 @@ func (s *ARD) solveRank(c *comm.Comm, b, x *mat.Matrix) int64 {
 			if preH != nil {
 				if st.localTotalS != nil {
 					fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
-					incH = ComposeH(preH, st.localTotalS, localTotalH)
+					incH = composeHWS(ws, preH, st.localTotalS, localTotalH)
 				} else {
 					incH = preH
 				}
 			}
-			c.Send(r+1, tagARDSolveScan, encodeHMat(incH))
+			c.Send(r+1, tagARDSolveScan, encodeHMatWS(ws, incH))
 		}
-		return s.solveFinish(c, b, x, st, fs, localTotalH, preH, &fc)
+		return s.solveFinish(c, b, x, st, localTotalH, preH, &fc)
 	}
 	accH := localTotalH
 	for _, round := range st.rounds { // Kogge-Stone replay
 		if r+round.dist < p {
-			c.Send(r+round.dist, tagARDSolveScan, encodeHMat(accH))
+			c.Send(r+round.dist, tagARDSolveScan, encodeHMatWS(ws, accH))
 		}
 		if r-round.dist >= 0 {
-			recvH := decodeHMat(c.Recv(r-round.dist, tagARDSolveScan))
+			payload := c.Recv(r-round.dist, tagARDSolveScan)
+			recvH := decodeHMatWS(ws, payload)
+			c.Release(payload)
 			if recvH != nil {
 				if round.preS == nil {
 					preH = recvH
 				} else {
 					fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
-					preH = ComposeH(recvH, round.preS, preH)
+					preH = composeHWS(ws, recvH, round.preS, preH)
 				}
 				if round.accS == nil {
 					accH = recvH
 				} else {
 					fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
-					accH = ComposeH(recvH, round.accS, accH)
+					accH = composeHWS(ws, recvH, round.accS, accH)
 				}
 			}
 		}
 	}
 
-	return s.solveFinish(c, b, x, st, fs, localTotalH, preH, &fc)
+	return s.solveFinish(c, b, x, st, localTotalH, preH, &fc)
 }
 
 // solveFinish is the schedule-independent tail of a solve: the reduced
 // right-hand side and x0 at the last rank, the broadcast, and the local
-// recovery by state propagation (with ping-pong buffers).
+// recovery by state propagation (with ping-pong arena buffers and the
+// structured transfer apply).
 func (s *ARD) solveFinish(c *comm.Comm, b, x *mat.Matrix, st *ardRankState,
-	fs []*mat.Matrix, localTotalH, preH *mat.Matrix, fc *flopCounter) int64 {
+	localTotalH, preH *mat.Matrix, fc *flopCounter) int64 {
 	a := s.a
 	r, p := c.Rank(), c.Size()
 	n, m, rhs := a.N, a.M, b.Cols
+	ws := st.ws
 	var x0 *mat.Matrix
 	if r == p-1 {
 		totalH := localTotalH
 		if preH != nil {
 			fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
-			totalH = ComposeH(preH, st.localTotalS, localTotalH)
+			totalH = composeHWS(ws, preH, st.localTotalS, localTotalH)
 		}
-		rrhs := reducedRHS(a, totalH, blockOf(b, m, n-1))
+		rrhs := reducedRHS(ws, a, totalH, wsBlockOf(ws, b, m, n-1))
 		fc.add(2 * gemmFlops(m, m, rhs))
-		x0 = s.luRm.Solve(rrhs)
+		x0 = ws.GetNoClear(m, rhs)
+		s.luRm.SolveTo(x0, rrhs)
 		fc.add(luSolveFlops(m, rhs))
+	} else {
+		x0 = ws.GetNoClear(m, rhs)
 	}
-	x0 = c.BcastMatrix(p-1, x0)
+	c.BcastMatrixInto(p-1, x0)
 
 	if st.lo == 0 && st.hi > 0 {
-		blockOf(x, m, 0).CopyFrom(x0)
+		wsBlockOf(ws, x, m, 0).CopyFrom(x0)
 	}
-	y := applyPrefixState(m, st.piS, preH, x0)
+	y := applyPrefixState(ws, m, st.piS, preH, x0)
 	if st.piS != nil {
 		fc.add(gemmFlops(2*m, m, rhs) + addFlops(2*m, rhs))
 	}
-	ybuf := [2]*mat.Matrix{mat.New(2*m, rhs), mat.New(2*m, rhs)}
+	ybuf := [2]*mat.Matrix{ws.GetNoClear(2*m, rhs), ws.GetNoClear(2*m, rhs)}
 	ycur := 0
 	for k, e := range st.elems {
 		dst := ybuf[ycur]
 		ycur ^= 1
-		mat.Mul(dst, e.t, y)
-		mat.Add(dst, dst, fs[k])
+		applyT(ws, e.t, y, st.fs[k], dst, m)
 		y = dst
 		fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
-		blockOf(x, m, e.idx).CopyFrom(y.View(0, 0, m, rhs))
+		wsBlockOf(ws, x, m, e.idx).CopyFrom(ws.View(y, 0, 0, m, rhs))
 	}
 	return fc.n
 }

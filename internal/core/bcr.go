@@ -21,12 +21,16 @@ import (
 // systems.
 type BCR struct {
 	a     *blocktri.Matrix
+	ws    *mat.Workspace
 	stats SolveStats
 }
 
 // NewBCR wraps a. BCR performs the full reduction on every Solve call (no
-// factor/solve split), matching its classic formulation.
-func NewBCR(a *blocktri.Matrix) *BCR { return &BCR{a: a} }
+// factor/solve split), matching its classic formulation; the working
+// matrices of every level live in a reused arena.
+func NewBCR(a *blocktri.Matrix) *BCR {
+	return &BCR{a: a, ws: mat.NewWorkspace()}
+}
 
 // Name implements Solver.
 func (s *BCR) Name() string { return "block-cyclic-reduction" }
@@ -42,45 +46,54 @@ func (s *BCR) Solve(b *mat.Matrix) (*mat.Matrix, error) {
 	start := time.Now()
 	a := s.a
 	n, m, r := a.N, a.M, b.Cols
+	ws := s.ws
+	ws.Reset()
 	var fc flopCounter
-	// Copy the bands into working arrays (the reduction mutates them).
+	// Copy the bands into arena-backed working arrays (the reduction
+	// mutates them).
 	ls := make([]*mat.Matrix, n)
 	ds := make([]*mat.Matrix, n)
 	us := make([]*mat.Matrix, n)
 	bs := make([]*mat.Matrix, n)
 	for i := 0; i < n; i++ {
-		ds[i] = a.Diag[i].Clone()
+		ds[i] = ws.CloneOf(a.Diag[i])
 		if a.Lower[i] != nil {
-			ls[i] = a.Lower[i].Clone()
+			ls[i] = ws.CloneOf(a.Lower[i])
 		}
 		if a.Upper[i] != nil {
-			us[i] = a.Upper[i].Clone()
+			us[i] = ws.CloneOf(a.Upper[i])
 		}
-		bs[i] = blockOf(b, m, i).Clone()
+		bs[i] = ws.CloneOf(wsBlockOf(ws, b, m, i))
 	}
-	xs, err := bcrLevel(ls, ds, us, bs, m, r, 0, &fc)
+	xs, err := bcrSolveLevel(ws, ls, ds, us, bs, m, r, 0, &fc)
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore hotalloc Solve returns a caller-owned result matrix
 	x := mat.New(n*m, r)
 	for i := 0; i < n; i++ {
-		blockOf(x, m, i).CopyFrom(xs[i])
+		wsBlockOf(ws, x, m, i).CopyFrom(xs[i])
 	}
 	s.stats = SolveStats{Flops: fc.n, MaxRankFlops: fc.n, Wall: time.Since(start)}
 	return x, nil
 }
 
-// bcrLevel reduces one level of cyclic reduction and recurses on the
-// even-position rows, then back-substitutes the odd-position unknowns.
-func bcrLevel(ls, ds, us, bs []*mat.Matrix, m, r, level int, fc *flopCounter) ([]*mat.Matrix, error) {
+// bcrSolveLevel reduces one level of cyclic reduction and recurses on the
+// even-position rows, then back-substitutes the odd-position unknowns. All
+// level-local matrices are checked out of ws, whose lifetime spans the whole
+// recursion (parents read children's results, so nothing can be reset
+// per level).
+func bcrSolveLevel(ws *mat.Workspace, ls, ds, us, bs []*mat.Matrix, m, r, level int, fc *flopCounter) ([]*mat.Matrix, error) {
 	n := len(ds)
 	if n == 1 {
-		lu, err := mat.Factor(ds[0])
+		lu, err := ws.LU(ds[0])
 		if err != nil {
 			return nil, fmt.Errorf("core: bcr level %d: %w", level, err)
 		}
 		fc.add(luFlops(m) + luSolveFlops(m, r))
-		return []*mat.Matrix{lu.Solve(bs[0])}, nil
+		x0 := ws.GetNoClear(bs[0].Rows, bs[0].Cols)
+		lu.SolveTo(x0, bs[0])
+		return []*mat.Matrix{x0}, nil
 	}
 
 	// Factor the odd-position diagonals and precompute D^{-1}L, D^{-1}U,
@@ -90,21 +103,24 @@ func bcrLevel(ls, ds, us, bs []*mat.Matrix, m, r, level int, fc *flopCounter) ([
 	}
 	odd := make([]oddRow, n)
 	for j := 1; j < n; j += 2 {
-		lu, err := mat.Factor(ds[j])
+		lu, err := ws.LU(ds[j])
 		if err != nil {
 			return nil, fmt.Errorf("core: bcr level %d row %d: %w", level, j, err)
 		}
 		fc.add(luFlops(m))
 		var o oddRow
 		if ls[j] != nil {
-			o.invL = lu.Solve(ls[j])
+			o.invL = ws.GetNoClear(m, m)
+			lu.SolveTo(o.invL, ls[j])
 			fc.add(luSolveFlops(m, m))
 		}
 		if us[j] != nil {
-			o.invU = lu.Solve(us[j])
+			o.invU = ws.GetNoClear(m, m)
+			lu.SolveTo(o.invU, us[j])
 			fc.add(luSolveFlops(m, m))
 		}
-		o.invB = lu.Solve(bs[j])
+		o.invB = ws.GetNoClear(m, r)
+		lu.SolveTo(o.invB, bs[j])
 		fc.add(luSolveFlops(m, r))
 		odd[j] = o
 	}
@@ -117,8 +133,8 @@ func bcrLevel(ls, ds, us, bs []*mat.Matrix, m, r, level int, fc *flopCounter) ([
 	nbs := make([]*mat.Matrix, ne)
 	for k := 0; k < ne; k++ {
 		j := 2 * k
-		nd := ds[j].Clone()
-		nb := bs[j].Clone()
+		nd := ws.CloneOf(ds[j])
+		nb := ws.CloneOf(bs[j])
 		if j-1 >= 0 && ls[j] != nil {
 			o := odd[j-1]
 			if o.invU != nil {
@@ -128,7 +144,7 @@ func bcrLevel(ls, ds, us, bs []*mat.Matrix, m, r, level int, fc *flopCounter) ([
 			mat.MulSub(nb, ls[j], o.invB)
 			fc.add(gemmFlops(m, m, r))
 			if o.invL != nil {
-				nl := mat.New(m, m)
+				nl := ws.Get(m, m) // zeroed: MulSub accumulates into it
 				mat.MulSub(nl, ls[j], o.invL)
 				fc.add(gemmFlops(m, m, m))
 				nls[k] = nl
@@ -143,7 +159,7 @@ func bcrLevel(ls, ds, us, bs []*mat.Matrix, m, r, level int, fc *flopCounter) ([
 			mat.MulSub(nb, us[j], o.invB)
 			fc.add(gemmFlops(m, m, r))
 			if o.invU != nil {
-				nu := mat.New(m, m)
+				nu := ws.Get(m, m) // zeroed: MulSub accumulates into it
 				mat.MulSub(nu, us[j], o.invU)
 				fc.add(gemmFlops(m, m, m))
 				nus[k] = nu
@@ -152,7 +168,7 @@ func bcrLevel(ls, ds, us, bs []*mat.Matrix, m, r, level int, fc *flopCounter) ([
 		nds[k], nbs[k] = nd, nb
 	}
 
-	xe, err := bcrLevel(nls, nds, nus, nbs, m, r, level+1, fc)
+	xe, err := bcrSolveLevel(ws, nls, nds, nus, nbs, m, r, level+1, fc)
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +182,7 @@ func bcrLevel(ls, ds, us, bs []*mat.Matrix, m, r, level int, fc *flopCounter) ([
 	}
 	for j := 1; j < n; j += 2 {
 		o := odd[j]
-		xj := o.invB.Clone()
+		xj := ws.CloneOf(o.invB)
 		if o.invL != nil {
 			mat.MulSub(xj, o.invL, xs[j-1])
 			fc.add(gemmFlops(m, m, r))

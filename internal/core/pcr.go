@@ -33,6 +33,7 @@ type PCR struct {
 
 	factored    bool
 	rk          []*pcrRankState
+	ws          []*mat.Workspace // per-rank solve arenas
 	factorStats SolveStats
 	solveStats  SolveStats
 }
@@ -53,7 +54,12 @@ type pcrRankState struct {
 // NewPCR returns a distributed parallel cyclic reduction solver for a
 // over cfg's world.
 func NewPCR(a *blocktri.Matrix, cfg Config) *PCR {
-	return &PCR{a: a, world: cfg.world()}
+	w := cfg.world()
+	ws := make([]*mat.Workspace, w.P)
+	for i := range ws {
+		ws[i] = mat.NewWorkspace()
+	}
+	return &PCR{a: a, world: w, ws: ws}
 }
 
 // Name implements Solver.
@@ -408,6 +414,7 @@ func (s *PCR) Solve(b *mat.Matrix) (*mat.Matrix, error) {
 	start := time.Now()
 	w := s.world
 	w.ResetTotals()
+	//lint:ignore hotalloc Solve returns a caller-owned result matrix
 	x := mat.New(s.a.N*s.a.M, b.Cols)
 	perRank := make([]int64, w.P)
 	w.Run(func(c *comm.Comm) {
@@ -428,12 +435,14 @@ func (s *PCR) solveRank(c *comm.Comm, b, x *mat.Matrix) int64 {
 	n, m, rhs := a.N, a.M, b.Cols
 	st := s.rk[r]
 	lo, hi := st.lo, st.hi
+	ws := s.ws[r]
+	ws.Reset()
 	var fc flopCounter
 
-	// Working copies of the owned right-hand-side rows.
+	// Working copies of the owned right-hand-side rows, arena-backed.
 	rows := make([]*mat.Matrix, hi-lo)
 	for i := lo; i < hi; i++ {
-		rows[i-lo] = blockOf(b, m, i).Clone()
+		rows[i-lo] = ws.CloneOf(wsBlockOf(ws, b, m, i))
 	}
 
 	for _, lev := range st.levels {
@@ -456,9 +465,12 @@ func (s *PCR) solveRank(c *comm.Comm, b, x *mat.Matrix) int64 {
 			for t := 0; t < cnt; t++ {
 				j := int(payload[pos])
 				plen := int(payload[pos+1])
-				halo[j] = comm.DecodeMatrix(payload[pos+2 : pos+2+plen])
+				hm := ws.GetNoClear(m, rhs)
+				comm.DecodeMatrixInto(hm, payload[pos+2:pos+2+plen])
+				halo[j] = hm
 				pos += 2 + plen
 			}
+			c.Release(payload)
 		}
 		bAt := func(j int) *mat.Matrix {
 			if j >= lo && j < hi {
@@ -469,7 +481,7 @@ func (s *PCR) solveRank(c *comm.Comm, b, x *mat.Matrix) int64 {
 		next := make([]*mat.Matrix, len(rows))
 		for k := range rows {
 			i := lo + k
-			nb := rows[k].Clone()
+			nb := ws.CloneOf(rows[k])
 			if al := lev.alpha[k]; al != nil {
 				mat.MulSub(nb, al, bAt(i-d))
 				fc.add(gemmFlops(m, m, rhs))
@@ -485,7 +497,7 @@ func (s *PCR) solveRank(c *comm.Comm, b, x *mat.Matrix) int64 {
 
 	// Decoupled solves straight into the output.
 	for k := range rows {
-		out := blockOf(x, m, lo+k)
+		out := wsBlockOf(ws, x, m, lo+k)
 		st.luD[k].SolveTo(out, rows[k])
 		fc.add(luSolveFlops(m, rhs))
 	}

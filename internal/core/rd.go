@@ -47,11 +47,17 @@ type RD struct {
 	world *comm.World
 	sched prefix.Schedule
 	stats SolveStats
+	ws    []*mat.Workspace // per-rank solve arenas, reused across Solve calls
 }
 
 // NewRD returns a recursive doubling solver for a over cfg's world.
 func NewRD(a *blocktri.Matrix, cfg Config) *RD {
-	return &RD{a: a, world: cfg.world(), sched: cfg.Schedule}
+	w := cfg.world()
+	ws := make([]*mat.Workspace, w.P)
+	for i := range ws {
+		ws[i] = mat.NewWorkspace()
+	}
+	return &RD{a: a, world: w, sched: cfg.Schedule, ws: ws}
 }
 
 // Name implements Solver.
@@ -111,12 +117,13 @@ func (rd *RD) Solve(b *mat.Matrix) (*mat.Matrix, error) {
 	}
 	w := rd.world
 	w.ResetTotals()
+	//lint:ignore hotalloc Solve returns a caller-owned result matrix
 	x := mat.New(a.N*a.M, b.Cols)
 	perRank := make([]int64, w.P)
 	growth := make([]float64, w.P)
 	var es errSlot
 	w.Run(func(c *comm.Comm) {
-		perRank[c.Rank()], growth[c.Rank()] = rdRank(c, a, b, x, rd.sched, &es)
+		perRank[c.Rank()], growth[c.Rank()] = rd.rdSolveRank(c, b, x, &es)
 	})
 	if err := es.get(); err != nil {
 		return nil, err
@@ -131,10 +138,14 @@ func (rd *RD) Solve(b *mat.Matrix) (*mat.Matrix, error) {
 	return x, nil
 }
 
-// rdRank is one rank's share of a recursive doubling solve. It returns the
-// rank's analytic flop count and, on the last rank, the prefix growth
-// diagnostic.
-func rdRank(c *comm.Comm, a *blocktri.Matrix, b, x *mat.Matrix, sched prefix.Schedule, es *errSlot) (int64, float64) {
+// rdSolveRank is one rank's share of a recursive doubling solve. It returns
+// the rank's analytic flop count and, on the last rank, the prefix growth
+// diagnostic. All per-solve storage is checked out of the rank's arena; RD
+// still redoes every operation per solve (that is the algorithm), it just
+// stops paying the allocator for the privilege. Transfer-matrix applications
+// go through applyT so RD and ARD keep producing bit-identical solutions.
+func (rd *RD) rdSolveRank(c *comm.Comm, b, x *mat.Matrix, es *errSlot) (int64, float64) {
+	a := rd.a
 	r, p := c.Rank(), c.Size()
 	n, m, rhs := a.N, a.M, b.Cols
 	lo, hi := PartRange(n, p, r)
@@ -142,15 +153,21 @@ func rdRank(c *comm.Comm, a *blocktri.Matrix, b, x *mat.Matrix, sched prefix.Sch
 	if first < 1 {
 		first = 1
 	}
+	ws := rd.ws[r]
+	ws.Reset()
 	var fc flopCounter
 
 	// Phase 1: build local scan elements and reduce them to the local
-	// total — the O(M^3 N/P) term, redone on every RD solve.
+	// total — the O(M^3 N/P) term, redone on every RD solve. The running
+	// total ping-pongs between two arena buffers per half.
 	affs := make([]Affine, 0, max(hi-first, 0))
+	sbuf := [2]*mat.Matrix{ws.GetNoClear(2*m, 2*m), ws.GetNoClear(2*m, 2*m)}
+	hbuf := [2]*mat.Matrix{ws.GetNoClear(2*m, rhs), ws.GetNoClear(2*m, rhs)}
+	cur := 0
 	localTotal := Affine{}
 	var buildErr error
 	for i := first; i < hi; i++ {
-		e, err := buildElement(a, i)
+		e, err := buildElementWS(ws, a, i)
 		if err != nil {
 			buildErr = err
 			break
@@ -159,13 +176,19 @@ func rdRank(c *comm.Comm, a *blocktri.Matrix, b, x *mat.Matrix, sched prefix.Sch
 		if a.Lower[i-1] != nil {
 			fc.add(luSolveFlops(m, m))
 		}
-		af := e.affine(m, blockOf(b, m, i-1))
+		af := Affine{S: e.t, H: e.buildFInto(ws, m, wsBlockOf(ws, b, m, i-1))}
 		fc.add(luSolveFlops(m, rhs))
 		affs = append(affs, af)
-		if !localTotal.IsIdentity() {
-			fc.add(gemmFlops(2*m, 2*m, 2*m) + gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
+		if localTotal.IsIdentity() {
+			localTotal = af
+			continue
 		}
-		localTotal = ComposeAffine(localTotal, af)
+		fc.add(gemmFlops(2*m, 2*m, 2*m) + gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
+		ns, nh := sbuf[cur], hbuf[cur]
+		cur ^= 1
+		mat.Mul(ns, af.S, localTotal.S)
+		applyT(ws, af.S, localTotal.H, af.H, nh, m)
+		localTotal = Affine{S: ns, H: nh}
 	}
 	if buildErr != nil {
 		es.set(buildErr)
@@ -182,55 +205,59 @@ func rdRank(c *comm.Comm, a *blocktri.Matrix, b, x *mat.Matrix, sched prefix.Sch
 		return ComposeAffine(earlier, later)
 	}
 	codec := prefix.Codec[Affine]{Encode: encodeAffine, Decode: decodeAffine}
-	pi, _ := prefix.ExScanRanks(c, localTotal, countingOp, codec, sched, tagRDScan)
+	pi, _ := prefix.ExScanRanks(c, localTotal, countingOp, codec, rd.sched, tagRDScan)
 
 	// Phase 3: reduced system for x_0 on the last rank, then broadcast.
-	var x0 *mat.Matrix
+	// Every rank checks out the x0 buffer so the broadcast decodes in place.
+	x0 := ws.GetNoClear(m, rhs)
 	growth := 0.0
 	solveOK := true
 	if r == p-1 {
-		total := ComposeAffine(pi, localTotal)
+		totalS, totalH := localTotal.S, localTotal.H
 		if !pi.IsIdentity() {
 			fc.add(gemmFlops(2*m, 2*m, 2*m) + gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
+			ts := ws.GetNoClear(2*m, 2*m)
+			mat.Mul(ts, localTotal.S, pi.S)
+			totalH = composeHWS(ws, pi.H, localTotal.S, localTotal.H)
+			totalS = ts
 		}
-		growth = mat.NormFrob(total.S)
-		rm := reducedMatrix(a, total.S)
+		growth = mat.NormFrob(totalS)
+		rm := reducedMatrixWS(ws, a, totalS)
 		fc.add(2 * gemmFlops(m, m, m))
-		luRm, err := mat.Factor(rm)
+		luRm, err := ws.LU(rm)
 		if err != nil {
 			es.set(err)
 			solveOK = false
 		} else {
 			fc.add(luFlops(m))
-			rrhs := reducedRHS(a, total.H, blockOf(b, m, n-1))
+			rrhs := reducedRHS(ws, a, totalH, wsBlockOf(ws, b, m, n-1))
 			fc.add(2 * gemmFlops(m, m, rhs))
-			x0 = luRm.Solve(rrhs)
+			luRm.SolveTo(x0, rrhs)
 			fc.add(luSolveFlops(m, rhs))
 		}
 	}
 	if !agreeOK(c, solveOK) {
 		return fc.n, growth
 	}
-	x0 = c.BcastMatrix(p-1, x0)
+	c.BcastMatrixInto(p-1, x0)
 
 	// Phase 4: local recovery by state propagation — O(M^2 R N/P).
 	if lo == 0 && hi > 0 {
-		blockOf(x, m, 0).CopyFrom(x0)
+		wsBlockOf(ws, x, m, 0).CopyFrom(x0)
 	}
-	y := applyPrefixState(m, pi.S, pi.H, x0)
+	y := applyPrefixState(ws, m, pi.S, pi.H, x0)
 	if pi.S != nil {
 		fc.add(gemmFlops(2*m, m, rhs) + addFlops(2*m, rhs))
 	}
-	ybuf := [2]*mat.Matrix{mat.New(2*m, rhs), mat.New(2*m, rhs)}
+	ybuf := [2]*mat.Matrix{ws.GetNoClear(2*m, rhs), ws.GetNoClear(2*m, rhs)}
 	ycur := 0
 	for k, i := 0, first; i < hi; k, i = k+1, i+1 {
 		dst := ybuf[ycur]
 		ycur ^= 1
-		mat.Mul(dst, affs[k].S, y)
-		mat.Add(dst, dst, affs[k].H)
+		applyT(ws, affs[k].S, y, affs[k].H, dst, m)
 		y = dst
 		fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
-		blockOf(x, m, i).CopyFrom(y.View(0, 0, m, rhs))
+		wsBlockOf(ws, x, m, i).CopyFrom(ws.View(y, 0, 0, m, rhs))
 	}
 	return fc.n, growth
 }

@@ -38,7 +38,8 @@ type Spike struct {
 
 	factored    bool
 	rk          []*spikeRankState
-	reduced     *Thomas // factored reduced system, held by the root
+	ws          []*mat.Workspace // per-rank solve arenas
+	reduced     *Thomas          // factored reduced system, held by the root
 	factorStats SolveStats
 	solveStats  SolveStats
 }
@@ -55,7 +56,12 @@ type spikeRankState struct {
 
 // NewSpike returns a SPIKE solver for a over cfg's world.
 func NewSpike(a *blocktri.Matrix, cfg Config) *Spike {
-	return &Spike{a: a, world: cfg.world()}
+	w := cfg.world()
+	ws := make([]*mat.Workspace, w.P)
+	for i := range ws {
+		ws[i] = mat.NewWorkspace()
+	}
+	return &Spike{a: a, world: w, ws: ws}
 }
 
 // Name implements Solver.
@@ -295,6 +301,7 @@ func (s *Spike) Solve(b *mat.Matrix) (*mat.Matrix, error) {
 	}
 	w := s.world
 	w.ResetTotals()
+	//lint:ignore hotalloc Solve returns a caller-owned result matrix
 	x := mat.New(s.a.N*s.a.M, b.Cols)
 	perRank := make([]int64, w.P)
 	var es errSlot
@@ -319,10 +326,13 @@ func (s *Spike) solveRank(c *comm.Comm, b, x *mat.Matrix, es *errSlot) int64 {
 	m, rhs := a.M, b.Cols
 	st := s.rk[r]
 	nr := st.hi - st.lo
+	ws := s.ws[r]
+	ws.Reset()
 	var fc flopCounter
 
-	// Local chunk solve: X0 = A_r^{-1} b_r.
-	x0, err := st.local.Solve(b.View(st.lo*m, 0, nr*m, rhs))
+	// Local chunk solve: X0 = A_r^{-1} b_r, into an arena buffer.
+	x0 := ws.GetNoClear(nr*m, rhs)
+	err := st.local.SolveTo(x0, ws.View(b, st.lo*m, 0, nr*m, rhs))
 	if err == nil {
 		fc.add(st.local.Stats().Flops)
 	} else {
@@ -335,8 +345,8 @@ func (s *Spike) solveRank(c *comm.Comm, b, x *mat.Matrix, es *errSlot) int64 {
 	// Gather the interface rows [x0 top ; x0 bottom] at the root.
 	root := 0
 	payload := comm.EncodeMatrices(
-		x0.View(0, 0, m, rhs),
-		x0.View((nr-1)*m, 0, m, rhs),
+		ws.View(x0, 0, 0, m, rhs),
+		ws.View(x0, (nr-1)*m, 0, m, rhs),
 	)
 	gathered := c.Gather(root, payload)
 
@@ -344,7 +354,7 @@ func (s *Spike) solveRank(c *comm.Comm, b, x *mat.Matrix, es *errSlot) int64 {
 	// (x_{lo-1} = b_{r-1} and x_{hi} = t_{r+1}).
 	reducedOK := true
 	if r == root {
-		zrhs := mat.New((p-1)*2*m, rhs)
+		zrhs := ws.GetNoClear((p-1)*2*m, rhs) // every row overwritten below
 		type gf struct{ top, bot *mat.Matrix }
 		gs := make([]gf, p)
 		for q := 0; q < p; q++ {
@@ -352,21 +362,22 @@ func (s *Spike) solveRank(c *comm.Comm, b, x *mat.Matrix, es *errSlot) int64 {
 			gs[q] = gf{top: ms[0], bot: ms[1]}
 		}
 		for q := 0; q < p-1; q++ {
-			zrhs.View(q*2*m, 0, m, rhs).CopyFrom(gs[q].bot)
-			zrhs.View(q*2*m+m, 0, m, rhs).CopyFrom(gs[q+1].top)
+			ws.View(zrhs, q*2*m, 0, m, rhs).CopyFrom(gs[q].bot)
+			ws.View(zrhs, q*2*m+m, 0, m, rhs).CopyFrom(gs[q+1].top)
 		}
-		z, err := s.reduced.Solve(zrhs)
+		z := ws.GetNoClear((p-1)*2*m, rhs)
+		err := s.reduced.SolveTo(z, zrhs)
 		if err == nil {
 			fc.add(s.reduced.Stats().Flops)
-			zero := mat.New(m, rhs)
+			zero := ws.Get(m, rhs)
 			for q := 0; q < p; q++ {
 				// Halo for rank q: left = b_{q-1} (z[q-1][0:M]), right = t_{q+1} (z[q][M:2M]).
 				left, right := zero, zero
 				if q > 0 {
-					left = z.View((q-1)*2*m, 0, m, rhs)
+					left = ws.View(z, (q-1)*2*m, 0, m, rhs)
 				}
 				if q < p-1 {
-					right = z.View(q*2*m+m, 0, m, rhs)
+					right = ws.View(z, q*2*m+m, 0, m, rhs)
 				}
 				c.Send(q, tagSpikeSolveScatter, comm.EncodeMatrices(left, right))
 			}
@@ -382,7 +393,7 @@ func (s *Spike) solveRank(c *comm.Comm, b, x *mat.Matrix, es *errSlot) int64 {
 	left, right := halo[0], halo[1]
 
 	// Local update: X = X0 - V*left - W*right, written into the global x.
-	out := x.View(st.lo*m, 0, nr*m, rhs)
+	out := ws.View(x, st.lo*m, 0, nr*m, rhs)
 	out.CopyFrom(x0)
 	if st.v != nil {
 		mat.MulSub(out, st.v, left)

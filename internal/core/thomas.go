@@ -24,12 +24,15 @@ type Thomas struct {
 	a     *blocktri.Matrix
 	luD   []*mat.LU     // factorizations of Δ_i
 	w     []*mat.Matrix // w[i] = Δ_i^{-1} U_i, i = 0..N-2
+	ws    *mat.Workspace
 	stats SolveStats
 }
 
 // NewThomas wraps a; factorization happens lazily on first Solve or an
 // explicit Factor call.
-func NewThomas(a *blocktri.Matrix) *Thomas { return &Thomas{a: a} }
+func NewThomas(a *blocktri.Matrix) *Thomas {
+	return &Thomas{a: a, ws: mat.NewWorkspace()}
+}
 
 // Name implements Solver.
 func (t *Thomas) Name() string { return "block-thomas" }
@@ -82,35 +85,56 @@ func (t *Thomas) Factor() error {
 	return nil
 }
 
-// Solve implements Solver.
+// Solve implements Solver. The result is freshly allocated; batch callers
+// should use SolveTo with a reused destination.
 func (t *Thomas) Solve(b *mat.Matrix) (*mat.Matrix, error) {
 	if err := checkRHS(t.a, b); err != nil {
 		return nil, err
 	}
-	if err := t.Factor(); err != nil {
+	//lint:ignore hotalloc Solve returns a caller-owned result; SolveTo is the reuse path
+	x := mat.New(b.Rows, b.Cols)
+	if err := t.SolveTo(x, b); err != nil {
 		return nil, err
+	}
+	return x, nil
+}
+
+// SolveTo solves A*X = B into the caller-provided x (b's shape, no
+// aliasing). Both substitution sweeps run in place on x, so after the
+// first call has warmed the view-header arena, SolveTo allocates nothing.
+func (t *Thomas) SolveTo(x, b *mat.Matrix) error {
+	if err := checkRHS(t.a, b); err != nil {
+		return err
+	}
+	if x.Rows != b.Rows || x.Cols != b.Cols {
+		return fmt.Errorf("%w: destination %dx%d for %dx%d right-hand side", ErrShape, x.Rows, x.Cols, b.Rows, b.Cols)
+	}
+	if err := t.Factor(); err != nil {
+		return err
 	}
 	start := time.Now()
 	a := t.a
 	n, m, r := a.N, a.M, b.Cols
+	ws := t.ws
+	ws.Reset()
 	var fc flopCounter
-	// Forward sweep: y_0 = Δ_0^{-1} b_0; y_i = Δ_i^{-1}(b_i - L_i y_{i-1}).
-	y := b.Clone()
-	t.luD[0].SolveInPlace(blockOf(y, m, 0))
+	// Forward sweep: y_0 = Δ_0^{-1} b_0; y_i = Δ_i^{-1}(b_i - L_i y_{i-1}),
+	// computed in place on x.
+	x.CopyFrom(b)
+	t.luD[0].SolveInPlace(wsBlockOf(ws, x, m, 0))
 	fc.add(luSolveFlops(m, r))
 	for i := 1; i < n; i++ {
-		yi := blockOf(y, m, i)
-		mat.MulSub(yi, a.Lower[i], blockOf(y, m, i-1))
+		yi := wsBlockOf(ws, x, m, i)
+		mat.MulSub(yi, a.Lower[i], wsBlockOf(ws, x, m, i-1))
 		t.luD[i].SolveInPlace(yi)
 		fc.add(gemmFlops(m, m, r) + luSolveFlops(m, r))
 	}
 	// Backward sweep: x_{N-1} = y_{N-1}; x_i = y_i - w_i x_{i+1},
-	// reusing y's storage from the bottom up.
-	x := y
+	// from the bottom up.
 	for i := n - 2; i >= 0; i-- {
-		mat.MulSub(blockOf(x, m, i), t.w[i], blockOf(x, m, i+1))
+		mat.MulSub(wsBlockOf(ws, x, m, i), t.w[i], wsBlockOf(ws, x, m, i+1))
 		fc.add(gemmFlops(m, m, r))
 	}
 	t.stats = SolveStats{Flops: fc.n, MaxRankFlops: fc.n, Wall: time.Since(start)}
-	return x, nil
+	return nil
 }

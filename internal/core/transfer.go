@@ -69,6 +69,58 @@ func (e element) buildF(m int, bBlock *mat.Matrix) *mat.Matrix {
 	return f
 }
 
+// buildFInto is buildF with the result checked out of a workspace: the hot
+// per-solve path allocates nothing once the arena has warmed up.
+func (e element) buildFInto(ws *mat.Workspace, m int, bBlock *mat.Matrix) *mat.Matrix {
+	f := ws.Get(2*m, bBlock.Cols) // zeroed: the bottom half must stay 0
+	e.luU.SolveTo(ws.View(f, 0, 0, m, bBlock.Cols), bBlock)
+	return f
+}
+
+// buildElementWS is buildElement with all storage (the transfer matrix and
+// the U factorization) checked out of a workspace. RD uses it to rebuild its
+// per-solve elements without per-solve heap allocation; the results are
+// bitwise identical to buildElement's.
+func buildElementWS(ws *mat.Workspace, a *blocktri.Matrix, i int) (element, error) {
+	j := i - 1
+	m := a.M
+	luU, err := ws.LU(a.Upper[j])
+	if err != nil {
+		return element{}, fmt.Errorf("block row %d: %w", j, ErrSingularSuper)
+	}
+	t := ws.Get(2*m, 2*m)
+	tl := ws.View(t, 0, 0, m, m)
+	luU.SolveTo(tl, a.Diag[j])
+	mat.Scale(tl, -1)
+	if a.Lower[j] != nil {
+		tr := ws.View(t, 0, m, m, m)
+		luU.SolveTo(tr, a.Lower[j])
+		mat.Scale(tr, -1)
+	}
+	ws.View(t, m, 0, m, m).SetIdentity()
+	return element{idx: i, t: t, luU: luU}, nil
+}
+
+// applyT computes dst = T*y + f (2M x R) exploiting the transfer matrix's
+// block structure T = [[TL TR],[I 0]] and F's zero bottom half:
+//
+//	dst_top = [TL TR]*y + f_top,  dst_bot = y_top
+//
+// which costs half the flops of the dense 2M x 2M product (the identity and
+// zero blocks contribute a copy, not arithmetic). dst must not alias y or
+// f. Both RD and ARD route every transfer application (the local H fold and
+// the recovery sweep) through this function so the two solvers keep
+// producing bit-identical solutions regardless of which GEMM kernel a given
+// shape dispatches to.
+func applyT(ws *mat.Workspace, t, y, f, dst *mat.Matrix, m int) {
+	rhs := y.Cols
+	dTop := ws.View(dst, 0, 0, m, rhs)
+	//lint:ignore matalias dst is documented not to alias y or f, and t is never a solve destination
+	mat.Mul(dTop, ws.View(t, 0, 0, m, 2*m), y)
+	mat.Add(dTop, dTop, ws.View(f, 0, 0, m, rhs))
+	ws.View(dst, m, 0, m, rhs).CopyFrom(ws.View(y, 0, 0, m, rhs))
+}
+
 // affine returns the full scan element (T, F) for the given right-hand
 // side block.
 func (e element) affine(m int, bBlock *mat.Matrix) Affine {
@@ -78,14 +130,15 @@ func (e element) affine(m int, bBlock *mat.Matrix) Affine {
 // applyPrefixState computes y_{s-1} = S[:, 0:M]*x0 + H, the state entering
 // a rank's chunk, given the cross-rank exclusive prefix (S, H) and the
 // broadcast first unknown x0 (M x R). A nil S means the identity prefix:
-// y = [x0 ; 0].
-func applyPrefixState(m int, s, h, x0 *mat.Matrix) *mat.Matrix {
-	y := mat.New(2*m, x0.Cols)
+// y = [x0 ; 0]. The result is checked out of ws.
+func applyPrefixState(ws *mat.Workspace, m int, s, h, x0 *mat.Matrix) *mat.Matrix {
 	if s == nil {
-		y.View(0, 0, m, x0.Cols).CopyFrom(x0)
+		y := ws.Get(2*m, x0.Cols)
+		ws.View(y, 0, 0, m, x0.Cols).CopyFrom(x0)
 		return y
 	}
-	mat.Mul(y, s.View(0, 0, 2*m, m), x0)
+	y := ws.GetNoClear(2*m, x0.Cols)
+	mat.Mul(y, ws.View(s, 0, 0, 2*m, m), x0)
 	if h != nil {
 		mat.Add(y, y, h)
 	}
@@ -110,15 +163,29 @@ func reducedMatrix(a *blocktri.Matrix, s *mat.Matrix) *mat.Matrix {
 	return rm
 }
 
+// reducedMatrixWS is reducedMatrix with the result and scratch checked out
+// of a workspace (the RD per-solve path; ARD assembles it once in Factor).
+func reducedMatrixWS(ws *mat.Workspace, a *blocktri.Matrix, s *mat.Matrix) *mat.Matrix {
+	m := a.M
+	last := a.N - 1
+	rm := ws.GetNoClear(m, m)
+	mat.Mul(rm, a.Diag[last], ws.View(s, 0, 0, m, m))
+	tmp := ws.GetNoClear(m, m)
+	mat.Mul(tmp, a.Lower[last], ws.View(s, m, 0, m, m))
+	mat.Add(rm, rm, tmp)
+	return rm
+}
+
 // reducedRHS assembles the reduced right-hand side (M x R) from the global
-// total prefix H part and the last right-hand-side block.
-func reducedRHS(a *blocktri.Matrix, h, bLast *mat.Matrix) *mat.Matrix {
+// total prefix H part and the last right-hand-side block. The result is
+// checked out of ws.
+func reducedRHS(ws *mat.Workspace, a *blocktri.Matrix, h, bLast *mat.Matrix) *mat.Matrix {
 	m, r := a.M, bLast.Cols
 	last := a.N - 1
-	rhs := bLast.Clone()
+	rhs := ws.CloneOf(bLast)
 	if h != nil {
-		mat.MulSub(rhs, a.Diag[last], h.View(0, 0, m, r))
-		mat.MulSub(rhs, a.Lower[last], h.View(m, 0, m, r))
+		mat.MulSub(rhs, a.Diag[last], ws.View(h, 0, 0, m, r))
+		mat.MulSub(rhs, a.Lower[last], ws.View(h, m, 0, m, r))
 	}
 	return rhs
 }
@@ -134,4 +201,10 @@ func checkRHS(a *blocktri.Matrix, b *mat.Matrix) error {
 // blockOf returns the M x R view of block row i within a stacked vector.
 func blockOf(b *mat.Matrix, m, i int) *mat.Matrix {
 	return b.View(i*m, 0, m, b.Cols)
+}
+
+// wsBlockOf is blockOf with the view header checked out of a workspace, so
+// hot solve loops create no per-iteration garbage.
+func wsBlockOf(ws *mat.Workspace, b *mat.Matrix, m, i int) *mat.Matrix {
+	return ws.View(b, i*m, 0, m, b.Cols)
 }

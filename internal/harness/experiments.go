@@ -15,9 +15,9 @@ import (
 // experiment so per-rank compute stays attributable to its rank; it
 // returns a restore function.
 func serialKernels() func() {
-	old := mat.Parallel
-	mat.Parallel = false
-	return func() { mat.Parallel = old }
+	old := mat.ParallelEnabled()
+	mat.SetParallel(false)
+	return func() { mat.SetParallel(old) }
 }
 
 // solverTimes holds the average per-call times of the repeated-solve

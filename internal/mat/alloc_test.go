@@ -1,0 +1,101 @@
+package mat
+
+import "testing"
+
+// Deterministic fillers for allocation tests (no rand dependency, so the
+// measured closures do exactly the arithmetic under test).
+
+func fillSeq(m *Matrix, scale float64) {
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			m.Set(i, j, scale*float64((i*31+j*17)%23-11))
+		}
+	}
+}
+
+func diagDomTest(n int) *Matrix {
+	m := New(n, n)
+	fillSeq(m, 0.01)
+	for i := 0; i < n; i++ {
+		m.AddAt(i, i, float64(n))
+	}
+	return m
+}
+
+// TestLUSolveToAllocationFree pins the factored-solve hot path: SolveTo
+// into a caller-provided destination must not touch the heap.
+func TestLUSolveToAllocationFree(t *testing.T) {
+	a := diagDomTest(32)
+	lu, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(32, 8)
+	fillSeq(b, 1)
+	dst := New(32, 8)
+	allocs := testing.AllocsPerRun(10, func() { lu.SolveTo(dst, b) })
+	if allocs != 0 {
+		t.Errorf("LU.SolveTo: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestGEMMSerialAllocationFree pins both serial kernels: the small tiled
+// loop and the packed micro-kernel path (whose pack buffers come from the
+// pool, so steady state allocates nothing).
+func TestGEMMSerialAllocationFree(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+	}{
+		{"tiled-16", 16},  // below packThreshold: plain tiled loop
+		{"packed-48", 48}, // above packThreshold, below parallelThreshold
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := New(tc.n, tc.n)
+			b := New(tc.n, tc.n)
+			dst := New(tc.n, tc.n)
+			fillSeq(a, 0.5)
+			fillSeq(b, 0.25)
+			allocs := testing.AllocsPerRun(10, func() { Mul(dst, a, b) })
+			if allocs != 0 {
+				t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+			}
+		})
+	}
+}
+
+// TestGEMVStridedAllocationFree pins the strided-column gather: the gather
+// buffer comes from the pack pool, so after the first call the gemv path
+// allocates nothing.
+func TestGEMVStridedAllocationFree(t *testing.T) {
+	a := New(64, 64)
+	fillSeq(a, 0.5)
+	wide := New(64, 8)
+	fillSeq(wide, 0.25)
+	x := wide.Col(3) // stride 8: forces the gather
+	dst := New(64, 1)
+	allocs := testing.AllocsPerRun(10, func() { Mul(dst, a, x) })
+	if allocs != 0 {
+		t.Errorf("strided gemv: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestGEMMParallelAllocationBounded keeps the parallel path honest: it may
+// spawn goroutines (closure + stack bookkeeping) but must not scale
+// allocations with the operand size — the pack buffers are pooled.
+func TestGEMMParallelAllocationBounded(t *testing.T) {
+	prev := ParallelEnabled()
+	defer SetParallel(prev)
+	SetParallel(true)
+	n := 128 // above parallelThreshold
+	a := New(n, n)
+	b := New(n, n)
+	dst := New(n, n)
+	fillSeq(a, 0.5)
+	fillSeq(b, 0.25)
+	allocs := testing.AllocsPerRun(10, func() { Mul(dst, a, b) })
+	if allocs > 32 {
+		t.Errorf("parallel GEMM: %v allocs/op, want <= 32 (goroutine bookkeeping only)", allocs)
+	}
+}

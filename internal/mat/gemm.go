@@ -3,10 +3,12 @@ package mat
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// gemmBlock is the cache tile edge used by the blocked kernel. 64 float64
-// values per row segment keeps three tiles (~96 KiB) within typical L2.
+// gemmBlock is the cache tile edge used by the small-size blocked kernel.
+// 64 float64 values per row segment keeps three tiles (~96 KiB) within
+// typical L2.
 const gemmBlock = 64
 
 // parallelThreshold is the minimum number of multiply-add operations
@@ -14,11 +16,84 @@ const gemmBlock = 64
 // goroutine overhead dominates any speedup.
 const parallelThreshold = 1 << 18
 
-// Parallel controls whether large GEMM calls split row bands across
-// goroutines. It defaults to true; benchmarks that pin all parallelism in
-// the communicator ranks set it to false so that per-rank compute costs
-// stay attributable to the rank that performed them.
-var Parallel = true
+// packThreshold is the minimum number of multiply-add operations before
+// GEMM packs the operands into contiguous tiles for the register-blocked
+// micro-kernel; the packed path additionally requires every operand
+// dimension to reach packMinDim, because on skinny products the packing
+// traffic costs more than the kernel saves and the plain tiled loop runs
+// instead. The dispatch depends only on operand shape, so a given multiply
+// always takes the same path and results stay deterministic.
+const (
+	packThreshold = 1 << 15
+	packMinDim    = 32
+)
+
+// micro-kernel register block: each inner call computes an MR x NR tile of
+// dst held entirely in scalar accumulators.
+const (
+	microMR = 4
+	microNR = 4
+)
+
+// parallelOn controls whether large GEMM calls split row bands across
+// goroutines. It is read by worker goroutines while benchmarks and the
+// harness toggle it, hence atomic. It defaults to true; benchmarks that pin
+// all parallelism in the communicator ranks disable it so that per-rank
+// compute costs stay attributable to the rank that performed them.
+var parallelOn atomic.Bool
+
+func init() { parallelOn.Store(true) }
+
+// SetParallel enables or disables the parallel row-band split for large
+// GEMM calls. Safe to call concurrently with running multiplications: the
+// split changes only how rows are scheduled, never the per-element
+// reduction order, so results are identical either way.
+func SetParallel(on bool) { parallelOn.Store(on) }
+
+// ParallelEnabled reports whether large GEMM calls currently fan out across
+// goroutines.
+func ParallelEnabled() bool { return parallelOn.Load() }
+
+// packBuf holds the packed-operand scratch of one GEMM call (or the gather
+// buffer of one strided gemv). Buffers are recycled through a typed free
+// list rather than sync.Pool so that checkouts in steady state perform no
+// interface boxing and no allocation.
+type packBuf struct {
+	a, b []float64
+}
+
+var packPool struct {
+	mu   sync.Mutex
+	free []*packBuf
+}
+
+func getPackBuf() *packBuf {
+	packPool.mu.Lock()
+	n := len(packPool.free)
+	if n == 0 {
+		packPool.mu.Unlock()
+		return new(packBuf)
+	}
+	pb := packPool.free[n-1]
+	packPool.free = packPool.free[:n-1]
+	packPool.mu.Unlock()
+	return pb
+}
+
+func putPackBuf(pb *packBuf) {
+	packPool.mu.Lock()
+	packPool.free = append(packPool.free, pb)
+	packPool.mu.Unlock()
+}
+
+// ensureFloats grows buf to length n, reusing its backing array when it is
+// already large enough.
+func ensureFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
 
 // GEMM computes dst = alpha*a*b + beta*dst, the general matrix-matrix
 // product. dst must be a.Rows x b.Cols and must not alias a or b; a.Cols
@@ -39,8 +114,19 @@ func GEMM(alpha float64, a, b *Matrix, beta float64, dst *Matrix) {
 		gemv(alpha, a, b, dst)
 		return
 	}
-	if Parallel && a.Rows*a.Cols*b.Cols >= parallelThreshold {
+	ops := a.Rows * a.Cols * b.Cols
+	if ops >= parallelThreshold && parallelOn.Load() {
 		gemmParallel(alpha, a, b, dst)
+		return
+	}
+	if ops >= packThreshold && min(min(a.Rows, a.Cols), b.Cols) >= packMinDim {
+		pb := getPackBuf()
+		pb.b = ensureFloats(pb.b, packedBLen(b))
+		packB(b, pb.b)
+		pb.a = ensureFloats(pb.a, packedALen(a, 0, a.Rows))
+		packA(alpha, a, 0, a.Rows, pb.a)
+		gemmPacked(a.Cols, pb.a, pb.b, dst, 0, a.Rows)
+		putPackBuf(pb)
 		return
 	}
 	gemmSerial(alpha, a, b, dst, 0, a.Rows)
@@ -52,13 +138,17 @@ func GEMM(alpha float64, a, b *Matrix, beta float64, dst *Matrix) {
 func gemv(alpha float64, a, b, dst *Matrix) {
 	k := a.Cols
 	x := b.Data
+	var pb *packBuf
 	if b.Stride != 1 {
 		// Gather a strided column once so the inner loop stays unit-stride.
-		buf := make([]float64, k)
+		// The buffer comes from the pack pool, so steady state allocates
+		// nothing.
+		pb = getPackBuf()
+		pb.a = ensureFloats(pb.a, k)
 		for i := 0; i < k; i++ {
-			buf[i] = b.Data[i*b.Stride]
+			pb.a[i] = b.Data[i*b.Stride]
 		}
-		x = buf
+		x = pb.a
 	} else {
 		x = x[:k]
 	}
@@ -70,10 +160,14 @@ func gemv(alpha float64, a, b, dst *Matrix) {
 		}
 		dst.Data[i*dst.Stride] += alpha * sum
 	}
+	if pb != nil {
+		putPackBuf(pb)
+	}
 }
 
 // gemmSerial accumulates alpha*a*b into dst for rows [r0, r1) of a/dst
-// using an i-k-j loop order with square tiling for cache locality.
+// using an i-k-j loop order with square tiling for cache locality. It is
+// the small-size kernel, where packing would cost more than it saves.
 func gemmSerial(alpha float64, a, b, dst *Matrix, r0, r1 int) {
 	n, k := b.Cols, a.Cols
 	for ii := r0; ii < r1; ii += gemmBlock {
@@ -101,27 +195,188 @@ func gemmSerial(alpha float64, a, b, dst *Matrix, r0, r1 int) {
 	}
 }
 
+// packedALen returns the packed size of rows [r0, r1) of a: full microMR
+// row panels (zero padded), k-major within each panel.
+func packedALen(a *Matrix, r0, r1 int) int {
+	panels := (r1 - r0 + microMR - 1) / microMR
+	return panels * microMR * a.Cols
+}
+
+// packedBLen returns the packed size of b: full microNR column panels
+// (zero padded), k-major within each panel.
+func packedBLen(b *Matrix) int {
+	panels := (b.Cols + microNR - 1) / microNR
+	return panels * microNR * b.Rows
+}
+
+// packA copies rows [r0, r1) of a into pA as microMR-row panels, k-major
+// within each panel, with alpha folded into the values (matching the
+// alpha*a[i][k] factor of the unpacked kernel, so reduction order and
+// rounding are unchanged). Panel rows past r1 are zero.
+func packA(alpha float64, a *Matrix, r0, r1 int, pA []float64) {
+	kk := a.Cols
+	idx := 0
+	for ip := r0; ip < r1; ip += microMR {
+		if r1-ip >= microMR {
+			// Full panel: branch-free transposing gather of four rows.
+			row0 := a.Data[(ip+0)*a.Stride:]
+			row1 := a.Data[(ip+1)*a.Stride:]
+			row2 := a.Data[(ip+2)*a.Stride:]
+			row3 := a.Data[(ip+3)*a.Stride:]
+			for k := 0; k < kk; k++ {
+				dst := (*[microMR]float64)(pA[idx:])
+				dst[0] = alpha * row0[k]
+				dst[1] = alpha * row1[k]
+				dst[2] = alpha * row2[k]
+				dst[3] = alpha * row3[k]
+				idx += microMR
+			}
+			continue
+		}
+		rows := r1 - ip
+		for k := 0; k < kk; k++ {
+			for i := 0; i < microMR; i++ {
+				v := 0.0
+				if i < rows {
+					v = alpha * a.Data[(ip+i)*a.Stride+k]
+				}
+				pA[idx] = v
+				idx++
+			}
+		}
+	}
+}
+
+// packB copies b into pB as microNR-column panels, k-major within each
+// panel. Panel columns past b.Cols are zero.
+func packB(b *Matrix, pB []float64) {
+	kk, n := b.Rows, b.Cols
+	idx := 0
+	for jp := 0; jp < n; jp += microNR {
+		if n-jp >= microNR {
+			// Full panel: branch-free contiguous copies.
+			for k := 0; k < kk; k++ {
+				src := (*[microNR]float64)(b.Data[k*b.Stride+jp:])
+				dst := (*[microNR]float64)(pB[idx:])
+				*dst = *src
+				idx += microNR
+			}
+			continue
+		}
+		cols := n - jp
+		for k := 0; k < kk; k++ {
+			brow := b.Data[k*b.Stride+jp : k*b.Stride+jp+cols]
+			for j := 0; j < microNR; j++ {
+				v := 0.0
+				if j < cols {
+					v = brow[j]
+				}
+				pB[idx] = v
+				idx++
+			}
+		}
+	}
+}
+
+// gemmPacked runs the register-blocked micro-kernel over the packed panels
+// of a (rows [r0, r1), packed in pA) and b (packed in pB), accumulating
+// into dst. Each micro-tile folds its k-ascending partial sums in a single
+// scalar register per element and adds the total to dst once, so the
+// reduction order depends only on the operand shapes — never on the
+// parallel split — and results are bit-for-bit reproducible run to run.
+func gemmPacked(kk int, pA, pB []float64, dst *Matrix, r0, r1 int) {
+	n := dst.Cols
+	aPanel := microMR * kk
+	bPanel := microNR * kk
+	for ip, pi := r0, 0; ip < r1; ip, pi = ip+microMR, pi+1 {
+		mr := min(microMR, r1-ip)
+		pa := pA[pi*aPanel : (pi+1)*aPanel]
+		for jp, pj := 0, 0; jp < n; jp, pj = jp+microNR, pj+1 {
+			nr := min(microNR, n-jp)
+			pb := pB[pj*bPanel : (pj+1)*bPanel]
+			microKernel(kk, pa, pb, dst, ip, jp, mr, nr)
+		}
+	}
+}
+
+// microKernel computes one mr x nr tile (mr <= microMR, nr <= microNR) of
+// dst += pa*pb, where pa and pb are the k-major packed panels. The sixteen
+// accumulators live in registers across the whole k loop.
+func microKernel(kk int, pa, pb []float64, dst *Matrix, i0, j0, mr, nr int) {
+	var (
+		c00, c01, c02, c03 float64
+		c10, c11, c12, c13 float64
+		c20, c21, c22, c23 float64
+		c30, c31, c32, c33 float64
+	)
+	for k := 0; k < kk; k++ {
+		ak := (*[microMR]float64)(pa[k*microMR:])
+		bk := (*[microNR]float64)(pb[k*microNR:])
+		a0, a1, a2, a3 := ak[0], ak[1], ak[2], ak[3]
+		b0, b1, b2, b3 := bk[0], bk[1], bk[2], bk[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	acc := [microMR][microNR]float64{
+		{c00, c01, c02, c03},
+		{c10, c11, c12, c13},
+		{c20, c21, c22, c23},
+		{c30, c31, c32, c33},
+	}
+	for i := 0; i < mr; i++ {
+		drow := dst.Data[(i0+i)*dst.Stride+j0 : (i0+i)*dst.Stride+j0+nr]
+		ai := &acc[i]
+		for j := 0; j < nr; j++ {
+			drow[j] += ai[j]
+		}
+	}
+}
+
 // gemmParallel splits the rows of dst into bands, one goroutine per band.
+// The packed B panels are shared read-only across workers; each worker
+// packs its own A band. Per-row reduction order matches the serial packed
+// path, so enabling parallelism never changes results.
 func gemmParallel(alpha float64, a, b, dst *Matrix) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > a.Rows {
 		workers = a.Rows
 	}
+	// Band boundaries snap to the micro-panel height so no two workers
+	// write the same dst row.
 	band := (a.Rows + workers - 1) / workers
+	band = (band + microMR - 1) / microMR * microMR
+	shared := getPackBuf()
+	shared.b = ensureFloats(shared.b, packedBLen(b))
+	packB(b, shared.b)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		r0 := w * band
+	for r0 := 0; r0 < a.Rows; r0 += band {
 		r1 := min(r0+band, a.Rows)
-		if r0 >= r1 {
-			break
-		}
 		wg.Add(1)
 		go func(r0, r1 int) {
 			defer wg.Done()
-			gemmSerial(alpha, a, b, dst, r0, r1)
+			pb := getPackBuf()
+			pb.a = ensureFloats(pb.a, packedALen(a, r0, r1))
+			packA(alpha, a, r0, r1, pb.a)
+			gemmPacked(a.Cols, pb.a, shared.b, dst, r0, r1)
+			putPackBuf(pb)
 		}(r0, r1)
 	}
 	wg.Wait()
+	putPackBuf(shared)
 }
 
 // Mul computes dst = a*b. dst must not alias a or b.

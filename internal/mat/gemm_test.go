@@ -123,10 +123,10 @@ func TestGEMMParallelMatchesSerial(t *testing.T) {
 	par := New(n, n)
 	Mul(par, a, b) // parallel path
 	ser := New(n, n)
-	old := Parallel
-	Parallel = false
+	old := ParallelEnabled()
+	SetParallel(false)
 	Mul(ser, a, b)
-	Parallel = old
+	SetParallel(old)
 	if !par.Equal(ser) {
 		t.Fatal("parallel GEMM differs from serial")
 	}

@@ -105,13 +105,22 @@ func (m *Matrix) IsView() bool { return m.Stride != m.Cols }
 // (i, j). The view shares storage with m; writes through the view are
 // visible in m.
 func (m *Matrix) View(i, j, r, c int) *Matrix {
+	v := new(Matrix)
+	m.viewInto(v, i, j, r, c)
+	return v
+}
+
+// viewInto fills dst with the (i, j, r, c) sub-matrix view of m. It backs
+// both View (fresh header) and Workspace.View (pooled header).
+func (m *Matrix) viewInto(dst *Matrix, i, j, r, c int) {
 	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.Rows || j+c > m.Cols {
 		panic(fmt.Sprintf("mat: view (%d,%d,%d,%d) out of range %dx%d", i, j, r, c, m.Rows, m.Cols))
 	}
 	if r == 0 || c == 0 {
-		return &Matrix{Rows: r, Cols: c, Stride: m.Stride}
+		*dst = Matrix{Rows: r, Cols: c, Stride: m.Stride}
+		return
 	}
-	return &Matrix{
+	*dst = Matrix{
 		Rows:   r,
 		Cols:   c,
 		Stride: m.Stride,

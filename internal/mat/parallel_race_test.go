@@ -1,0 +1,58 @@
+package mat
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestParallelToggleRace hammers SetParallel from one goroutine while
+// several others run large multiplications that straddle the parallel
+// dispatch threshold. Under -race this proves the knob is safely published;
+// the Equal check proves toggling mid-stream never changes results (both
+// paths use the same per-row reduction order).
+func TestParallelToggleRace(t *testing.T) {
+	prev := ParallelEnabled()
+	defer SetParallel(prev)
+
+	const n = 128 // n^3 is above parallelThreshold
+	a := New(n, n)
+	b := New(n, n)
+	fillSeq(a, 0.5)
+	fillSeq(b, 0.25)
+	want := New(n, n)
+	Mul(want, a, b)
+
+	stop := make(chan struct{})
+	var toggler sync.WaitGroup
+	toggler.Add(1)
+	go func() {
+		defer toggler.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				SetParallel(i%2 == 0)
+			}
+		}
+	}()
+
+	var workers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			dst := New(n, n)
+			for i := 0; i < 20; i++ {
+				Mul(dst, a, b)
+				if !dst.Equal(want) {
+					t.Error("result changed while toggling SetParallel")
+					return
+				}
+			}
+		}()
+	}
+	workers.Wait()
+	close(stop)
+	toggler.Wait()
+}
