@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-baseline bench-compare verify experiments experiments-quick ci clean
+.PHONY: all build vet lint test race bench bench-baseline bench-compare verify chaos chaos-soak experiments experiments-quick ci clean
 
 all: build vet lint test
 
@@ -37,6 +37,14 @@ bench-compare:
 
 verify:
 	$(GO) run ./cmd/blocktri-verify -trials 25
+
+# Fault-injection campaign (see docs/RESILIENCE.md). `chaos` is the fixed-
+# seed CI smoke; `chaos-soak` is a longer randomized-seed soak for local use.
+chaos:
+	$(GO) run ./cmd/blocktri-chaos -seed 1 -plans 32
+
+chaos-soak:
+	$(GO) run ./cmd/blocktri-chaos -seed $$(date +%s) -plans 256
 
 experiments:
 	$(GO) run ./cmd/blocktri-bench -exp all -csv results

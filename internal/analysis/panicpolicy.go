@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // panicpolicy enforces the module's error-handling contract: solver and
@@ -22,9 +23,18 @@ import (
 //   - a call to Factor, Factorize, FactorInPlace, Solve, SolveTo, Invert
 //     or Inverse whose error result is discarded, either by using the call
 //     as a statement or by assigning the error to the blank identifier.
+//
+// Additionally, inside the runtime core — internal/comm and internal/core —
+// every bare panic is flagged regardless of its argument type. Those
+// packages run under World.Run, whose contract is that failures unwind as
+// typed *RankError values via comm.Throw; a bare panic bypasses the typed
+// unwind and reaches the recovery layer as an anonymous crash. The handful
+// of sanctioned panics (Throw itself, the cascade-abort control signal,
+// constructor misuse outside any Run body) carry //lint:ignore panicpolicy
+// directives with their rationale.
 var panicPolicyAnalyzer = &Analyzer{
 	Name: "panicpolicy",
-	Doc:  "flag panic(err) and discarded errors from factor/solve/invert calls",
+	Doc:  "flag panic(err), discarded factor/solve errors, and bare panics in the comm/core runtime",
 	Run:  runPanicPolicy,
 }
 
@@ -37,6 +47,14 @@ var errorResultFuncs = map[string]bool{
 
 const harnessPkgPath = "blocktri/internal/harness"
 
+// barePanicScoped reports whether pkg path is under the typed-unwind
+// contract that forbids new bare panics (fixtures load under a synthetic
+// "fix/..." path, mirroring the hotalloc scoping). commPkgPath is declared
+// in commlock.go, corePkgPath in hotalloc.go.
+func barePanicScoped(path string) bool {
+	return path == commPkgPath || path == corePkgPath || strings.HasPrefix(path, "fix/")
+}
+
 func runPanicPolicy(m *Module) []Finding {
 	p := &pass{m: m, name: "panicpolicy"}
 	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
@@ -44,11 +62,15 @@ func runPanicPolicy(m *Module) []Finding {
 		if pkg.Path == harnessPkgPath {
 			continue
 		}
+		inRuntime := barePanicScoped(pkg.Path)
 		for _, file := range pkg.Files {
 			ast.Inspect(file, func(n ast.Node) bool {
 				switch n := n.(type) {
 				case *ast.CallExpr:
 					checkPanicErr(p, pkg.Info, errIface, n)
+					if inRuntime {
+						checkBarePanic(p, pkg.Info, errIface, n)
+					}
 				case *ast.ExprStmt:
 					if call, ok := unparen(n.X).(*ast.CallExpr); ok {
 						checkDiscardedAll(p, pkg.Info, call)
@@ -79,6 +101,24 @@ func checkPanicErr(p *pass, info *types.Info, errIface *types.Interface, call *a
 	p.reportf(call.Pos(),
 		"panic(%s): return the error instead; ErrSingular and friends are expected input conditions, and a panicking rank takes the whole World down",
 		types.ExprString(call.Args[0]))
+}
+
+// checkBarePanic flags every panic call in the runtime-core packages whose
+// argument is NOT an error value (those are already covered by
+// checkPanicErr, with a more specific message).
+func checkBarePanic(p *pass, info *types.Info, errIface *types.Interface, call *ast.CallExpr) {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" || len(call.Args) != 1 {
+		return
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	if t := info.TypeOf(call.Args[0]); t != nil && types.Implements(t, errIface) {
+		return
+	}
+	p.reportf(call.Pos(),
+		"bare panic in the comm/core runtime: failures must unwind as typed errors via comm.Throw (or be returned); suppress with a lint:ignore directive only for sanctioned control-flow panics")
 }
 
 // watchedCall returns the called factor/solve/invert function and the

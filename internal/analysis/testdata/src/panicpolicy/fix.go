@@ -13,11 +13,27 @@ func panics(err error) {
 	if err != nil {
 		panic(err) // want `panic\(err\): return the error instead`
 	}
-	panic("shape mismatch") // ok: a message, not an error value
+	// Fixtures load under a synthetic fix/ path, which is inside the
+	// bare-panic scope: a string panic is flagged too.
+	panic("shape mismatch") // want `bare panic in the comm/core runtime`
 }
 
 func panicsNamed() {
 	panic(errBoom) // want `panic\(errBoom\): return the error instead`
+}
+
+// control is a stand-in for the runtime's sanctioned control-flow panics
+// (cascade aborts, Throw): a bare panic is allowed only under an explicit
+// suppression carrying its rationale.
+type control struct{}
+
+func sanctioned() {
+	//lint:ignore panicpolicy fixture: control-flow signal recovered by the caller.
+	panic(control{})
+}
+
+func unsanctioned() {
+	panic(control{}) // want `bare panic in the comm/core runtime`
 }
 
 func discards(a, b *mat.Matrix) {

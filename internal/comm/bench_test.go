@@ -57,6 +57,48 @@ func BenchmarkExScan(b *testing.B) {
 	}
 }
 
+// BenchmarkMailboxWakeups measures mailbox contention: rank 0 parks on one
+// (source, tag) queue while a flood of messages lands on its other queues.
+// With the per-queue condition variables a put wakes only a receiver
+// waiting on that queue, so the flood causes zero spurious wakeups of the
+// parked rank; the old mailbox-wide Broadcast woke it once per message.
+func BenchmarkMailboxWakeups(b *testing.B) {
+	const (
+		senders  = 7
+		perRank  = 16
+		lastRank = senders + 1
+	)
+	w := NewWorld(senders + 2)
+	payload := make([]float64, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Run(func(c *Comm) {
+			switch r := c.Rank(); {
+			case r == 0:
+				// Park on the release message while the flood arrives on
+				// the senders' queues, then drain the flood.
+				c.Release(c.Recv(lastRank, 1))
+				for s := 1; s <= senders; s++ {
+					for k := 0; k < perRank; k++ {
+						c.Release(c.Recv(s, 0))
+					}
+				}
+			case r <= senders:
+				for k := 0; k < perRank; k++ {
+					c.Send(0, 0, payload)
+				}
+				c.Send(lastRank, 2, nil)
+			default:
+				// Release rank 0 only after every sender has flooded it.
+				for s := 1; s <= senders; s++ {
+					c.Recv(s, 2)
+				}
+				c.Send(0, 1, nil)
+			}
+		})
+	}
+}
+
 func BenchmarkWorldSpawn(b *testing.B) {
 	// The fixed cost of one collective step: spawning and joining ranks.
 	for _, p := range []int{4, 32} {

@@ -1,7 +1,5 @@
 package comm
 
-import "fmt"
-
 // Collective message tags live in a reserved high range so user
 // point-to-point traffic (small non-negative tags) can never collide with
 // them. FIFO matching per (source, tag) makes reuse across successive
@@ -63,7 +61,7 @@ func (c *Comm) Barrier() {
 func (c *Comm) Bcast(root int, data []float64) []float64 {
 	p := c.Size()
 	if root < 0 || root >= p {
-		panic(fmt.Sprintf("comm: Bcast invalid root %d", root))
+		c.throwf(ErrInvalidRank, "comm: Bcast root %d (P=%d)", root, p)
 	}
 	rel := (c.rank - root + p) % p
 	mask := 1
@@ -92,7 +90,7 @@ func (c *Comm) Bcast(root int, data []float64) []float64 {
 func (c *Comm) Reduce(root int, data []float64, op ReduceOp) []float64 {
 	p := c.Size()
 	if root < 0 || root >= p {
-		panic(fmt.Sprintf("comm: Reduce invalid root %d", root))
+		c.throwf(ErrInvalidRank, "comm: Reduce root %d (P=%d)", root, p)
 	}
 	acc := make([]float64, len(data))
 	copy(acc, data)
@@ -108,7 +106,7 @@ func (c *Comm) Reduce(root int, data []float64, op ReduceOp) []float64 {
 			src := (partner + root) % p
 			recv := c.Recv(src, tagReduce)
 			if len(recv) != len(acc) {
-				panic("comm: Reduce length mismatch across ranks")
+				c.throwf(ErrLengthMismatch, "comm: Reduce got %d floats from rank %d, want %d", len(recv), src, len(acc))
 			}
 			op(acc, recv)
 		}
@@ -131,7 +129,7 @@ func (c *Comm) Allreduce(data []float64, op ReduceOp) []float64 {
 			partner := c.rank ^ mask
 			recv := c.Exchange(partner, tagReduce, acc)
 			if len(recv) != len(acc) {
-				panic("comm: Allreduce length mismatch across ranks")
+				c.throwf(ErrLengthMismatch, "comm: Allreduce got %d floats from rank %d, want %d", len(recv), partner, len(acc))
 			}
 			// Keep a canonical order (lower rank's contribution first) so
 			// all ranks compute bit-identical results even for merely
@@ -206,7 +204,7 @@ func (c *Comm) ExScan(data []float64, op ReduceOp) []float64 {
 		if c.rank-dist >= 0 {
 			recv := c.Recv(c.rank-dist, tagScan)
 			if len(recv) != len(acc) {
-				panic("comm: ExScan length mismatch across ranks")
+				c.throwf(ErrLengthMismatch, "comm: ExScan got %d floats from rank %d, want %d", len(recv), c.rank-dist, len(acc))
 			}
 			if pre == nil {
 				pre = make([]float64, len(recv))
@@ -241,7 +239,7 @@ func (c *Comm) Scan(data []float64, op ReduceOp) []float64 {
 		if c.rank-dist >= 0 {
 			recv := c.Recv(c.rank-dist, tagScan)
 			if len(recv) != len(acc) {
-				panic("comm: Scan length mismatch across ranks")
+				c.throwf(ErrLengthMismatch, "comm: Scan got %d floats from rank %d, want %d", len(recv), c.rank-dist, len(acc))
 			}
 			merged := make([]float64, len(recv))
 			copy(merged, recv)

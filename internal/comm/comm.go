@@ -16,6 +16,14 @@
 // through a per-world free list (receivers return them with Release), and
 // mailbox queues keep their capacity across messages. Repeated Run calls on
 // a warmed-up world therefore put no pressure on the garbage collector.
+//
+// Failures are typed, not fatal: a rank body aborts with Throw (or by
+// panicking), World.Run returns a *RankError identifying the rank and
+// cause, and a watchdog converts no-progress states into a *DeadlockError
+// naming each blocked rank's (src, tag). See docs/RESILIENCE.md. A seeded
+// FaultPlan can inject message drops, duplicates, corruption, delays, and
+// rank crashes or stalls for chaos testing; with no plan installed the
+// fault hooks reduce to a nil check on the hot path.
 package comm
 
 import (
@@ -24,10 +32,9 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 )
-
-// cascadeMsg marks the secondary panics raised on ranks woken by abort.
-const cascadeMsg = "comm: world aborted (another rank panicked)"
 
 // CostModel is the classic alpha-beta model: sending an n-byte message
 // costs Alpha + Beta*n seconds of simulated network time on both endpoints.
@@ -72,77 +79,214 @@ type msgKey struct {
 type message struct {
 	data  []float64
 	bytes int
+	// seq and sum are populated only while a FaultPlan is installed: seq is
+	// the 1-based per-(src, dst, tag) sequence number (0 = unsequenced) and
+	// sum is a checksum of the pristine payload, so receivers can discard
+	// duplicates, detect holes left by drops, and detect in-flight
+	// corruption.
+	seq uint64
+	sum uint64
 }
 
 // msgQueue is one (source, tag) FIFO. Delivered messages advance head
 // instead of re-slicing, so the items array keeps its capacity and a
 // drained queue is reset in place — steady-state puts allocate nothing.
+// Each queue has its own condition variable (sharing the mailbox mutex) so
+// a put wakes only a receiver waiting on that (source, tag) pair, never
+// receivers parked on unrelated queues.
 type msgQueue struct {
-	items []message
-	head  int
+	items  []message
+	head   int
+	expect uint64 // next sequence due for delivery (fault mode only)
+	cond   *sync.Cond
 }
+
+// advance consumes the head message, recycling storage in place.
+func (q *msgQueue) advance() {
+	q.items[q.head] = message{} // drop the payload reference
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+}
+
+// recvStatus reports how a mailbox wait ended.
+type recvStatus int
+
+const (
+	recvOK      recvStatus = iota
+	recvTimeout            // deadline passed with no deliverable message
+	recvHole               // head sequence is ahead of expect: a message was lost
+	recvCorrupt            // head message failed its checksum and was discarded
+)
 
 // mailbox is the per-rank incoming message store with FIFO ordering per
 // (source, tag) pair.
 type mailbox struct {
+	w       *World
+	rank    int
 	mu      sync.Mutex
-	cond    *sync.Cond
 	queues  map[msgKey]*msgQueue
 	aborted bool
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{queues: make(map[msgKey]*msgQueue)}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
+func newMailbox(w *World, rank int) *mailbox {
+	return &mailbox{w: w, rank: rank, queues: make(map[msgKey]*msgQueue)}
+}
+
+// queue returns the FIFO for key, creating it on first use. Callers must
+// hold mb.mu.
+func (mb *mailbox) queue(key msgKey) *msgQueue {
+	q := mb.queues[key]
+	if q == nil {
+		q = &msgQueue{expect: 1}
+		q.cond = sync.NewCond(&mb.mu)
+		mb.queues[key] = q
+	}
+	return q
 }
 
 func (mb *mailbox) put(key msgKey, m message) {
 	mb.mu.Lock()
-	q := mb.queues[key]
-	if q == nil {
-		q = new(msgQueue)
-		mb.queues[key] = q
-	}
+	q := mb.queue(key)
 	q.items = append(q.items, m)
+	// Scoped wakeup: only the receiver waiting on this (source, tag) queue
+	// is woken, and there is at most one (the rank goroutine), so Signal
+	// suffices. See BenchmarkMailboxWakeups.
+	q.cond.Signal()
 	mb.mu.Unlock()
-	mb.cond.Broadcast()
+	mb.w.noteProgress()
 }
 
-func (mb *mailbox) get(key msgKey) message {
+// pushFront re-queues a retransmitted message ahead of everything already
+// buffered, so it is delivered at its original sequence position. Fault
+// paths only; may allocate.
+func (mb *mailbox) pushFront(key msgKey, m message) {
+	mb.mu.Lock()
+	q := mb.queue(key)
+	if q.head > 0 {
+		q.head--
+		q.items[q.head] = m
+	} else {
+		q.items = append(q.items, message{})
+		copy(q.items[1:], q.items)
+		q.items[0] = m
+	}
+	q.cond.Signal()
+	mb.mu.Unlock()
+	mb.w.noteProgress()
+}
+
+// wait blocks until a message for key is deliverable, the deadline passes
+// (zero deadline = wait forever), or the world aborts. With seqCheck set it
+// enforces sequence order: stale duplicates are discarded silently, a
+// too-new head reports recvHole, and a checksum mismatch discards the
+// message and reports recvCorrupt so the caller can request retransmission.
+func (mb *mailbox) wait(key msgKey, deadline time.Time, seqCheck bool) (message, recvStatus) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
+	q := mb.queue(key)
+	registered := false
 	for {
-		q := mb.queues[key]
-		if q != nil && q.head < len(q.items) {
+		for q.head < len(q.items) {
 			m := q.items[q.head]
-			q.items[q.head] = message{} // drop the payload reference
-			q.head++
-			if q.head == len(q.items) {
-				q.items = q.items[:0]
-				q.head = 0
+			if seqCheck && m.seq != 0 {
+				if m.seq < q.expect { // duplicate of a delivered message
+					q.advance()
+					mb.w.pool.put(m.data)
+					continue
+				}
+				if m.seq > q.expect { // an earlier message never arrived
+					if registered {
+						mb.w.setBlocked(mb.rank, opRunning, -1, -1)
+					}
+					return message{}, recvHole
+				}
+				if payloadSum(m.data) != m.sum { // corrupted in flight
+					q.advance()
+					mb.w.pool.put(m.data)
+					if registered {
+						mb.w.setBlocked(mb.rank, opRunning, -1, -1)
+					}
+					return message{}, recvCorrupt
+				}
+				q.expect++
 			}
-			return m
+			q.advance()
+			if registered {
+				mb.w.setBlocked(mb.rank, opRunning, -1, -1)
+			}
+			mb.w.noteProgress()
+			return m, recvOK
 		}
 		if mb.aborted {
-			panic(cascadeMsg)
+			//lint:ignore panicpolicy cascadeAbort is the sanctioned control-flow signal for abort victims; job.run swallows it.
+			panic(cascadeAbort{})
 		}
-		mb.cond.Wait()
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			if registered {
+				mb.w.setBlocked(mb.rank, opRunning, -1, -1)
+			}
+			return message{}, recvTimeout
+		}
+		if !registered {
+			// Register the blocked (src, tag) for the watchdog only when
+			// actually parking; the deliver-immediately fast path above
+			// never touches the shared state.
+			mb.w.setBlocked(mb.rank, opRecv, key.src, key.tag)
+			registered = true
+		}
+		q.cond.Wait()
 	}
 }
 
-// abort wakes every blocked receiver so a panic on one rank cascades
+// abort wakes every blocked receiver so a failure on one rank cascades
 // instead of deadlocking the world.
 func (mb *mailbox) abort() {
 	mb.mu.Lock()
 	mb.aborted = true
+	for _, q := range mb.queues {
+		q.cond.Broadcast()
+	}
 	mb.mu.Unlock()
-	mb.cond.Broadcast()
 }
 
 func (mb *mailbox) clearAbort() {
 	mb.mu.Lock()
 	mb.aborted = false
+	mb.mu.Unlock()
+}
+
+func (mb *mailbox) isAborted() bool {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.aborted
+}
+
+// kick wakes every waiter on this mailbox so timed waits can re-check
+// their deadlines. Called by the watchdog tick in resilient mode.
+func (mb *mailbox) kick() {
+	mb.mu.Lock()
+	for _, q := range mb.queues {
+		q.cond.Broadcast()
+	}
+	mb.mu.Unlock()
+}
+
+// expectOf returns the next sequence number due on key's queue.
+func (mb *mailbox) expectOf(key msgKey) uint64 {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.queue(key).expect
+}
+
+// resetSeq rewinds every queue's expected sequence for a new Run.
+func (mb *mailbox) resetSeq() {
+	mb.mu.Lock()
+	for _, q := range mb.queues {
+		q.expect = 1
+	}
 	mb.mu.Unlock()
 }
 
@@ -193,9 +337,27 @@ func (p *bufPool) put(buf []float64) {
 	p.mu.Unlock()
 }
 
+// Per-rank execution states tracked for the watchdog, packed with the
+// blocked (src, tag) into one atomic word: op in the top bits, src in bits
+// 32..47, tag in the low 32.
+const (
+	opRunning = iota // executing the body (or not blocked anywhere)
+	opRecv           // parked in a mailbox wait
+	opStall          // parked in an injected stall
+	opDone           // body returned (or unwound)
+)
+
+func packState(op, src, tag int) uint64 {
+	return uint64(op)<<62 | uint64(uint16(src))<<32 | uint64(uint32(tag))
+}
+
+func unpackState(s uint64) (op, src, tag int) {
+	return int(s >> 62), int(int16(uint16(s >> 32))), int(int32(uint32(s)))
+}
+
 // World is a set of P communicating ranks. The first Run starts one
-// persistent worker goroutine per rank; the workers idle between Runs and
-// exit when the World is garbage collected.
+// persistent worker goroutine per rank plus a watchdog; they idle between
+// Runs and exit when the World is garbage collected.
 type World struct {
 	P     int
 	Model CostModel
@@ -209,19 +371,32 @@ type World struct {
 	workersOnce sync.Once
 	jobs        []chan job
 	comms       []*Comm
-	panics      []any
+	runErrs     []*RankError
 	wg          sync.WaitGroup
+
+	res    Resilience
+	faults *faultState // nil unless a FaultPlan is installed
+
+	// Watchdog state: blocked packs each rank's execution state, progress
+	// counts every delivery/park/unpark event, active brackets a Run, and
+	// watchErr carries a detected deadlock back to Run.
+	blocked  []atomic.Uint64
+	progress atomic.Uint64
+	active   atomic.Bool
+	watchErr atomic.Pointer[DeadlockError]
+	wake     chan *World
 }
 
 // NewWorld returns a world of p ranks using the default cost model.
 func NewWorld(p int) *World {
 	if p <= 0 {
+		//lint:ignore panicpolicy constructor misuse outside any Run body; there is no rank to fail.
 		panic(fmt.Sprintf("comm: invalid world size %d", p))
 	}
 	w := &World{P: p, Model: DefaultCostModel,
 		boxes: make([]*mailbox, p), stats: make([]Stats, p)}
 	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
+		w.boxes[i] = newMailbox(w, i)
 	}
 	return w
 }
@@ -233,6 +408,12 @@ type Comm struct {
 	rank    int
 	stats   Stats
 	scratch []float64 // persistent encode buffer for the *Into collectives
+
+	// Fault-mode state (untouched when no plan is installed): opCount
+	// numbers this rank's send/recv operations for crash/stall targeting,
+	// sendSeq issues per-(dst, tag) sequence numbers.
+	opCount int
+	sendSeq map[sendKey]uint64
 }
 
 // Rank returns this endpoint's rank in [0, Size).
@@ -247,6 +428,17 @@ func (c *Comm) Stats() Stats { return c.stats }
 // ResetStats zeroes this rank's counters.
 func (c *Comm) ResetStats() { c.stats = Stats{} }
 
+// noteProgress records that the world did something observable (a message
+// queued or delivered, a rank parked or unparked). The watchdog declares
+// deadlock only when this counter stops moving.
+func (w *World) noteProgress() { w.progress.Add(1) }
+
+// setBlocked publishes rank's execution state for the watchdog.
+func (w *World) setBlocked(rank, op, src, tag int) {
+	w.blocked[rank].Store(packState(op, src, tag))
+	w.progress.Add(1)
+}
+
 // job is one rank's share of a Run, delivered to its persistent worker.
 type job struct {
 	w    *World
@@ -254,21 +446,25 @@ type job struct {
 	body func(c *Comm)
 }
 
-// run executes the job body with the rank's persistent Comm, reproducing
-// Run's historical per-goroutine semantics: fresh stats, panic capture with
-// stack, world-wide abort so blocked ranks unwind, and a stats merge that
-// is skipped when the body panicked.
+// run executes the job body with the rank's persistent Comm: fresh stats,
+// conversion of Throw/panic into a *RankError with the failing stack,
+// world-wide abort so blocked ranks unwind, and a stats merge that is
+// skipped when the body failed.
 func (j job) run() {
 	w, rank := j.w, j.rank
 	defer w.wg.Done()
 	defer func() {
+		w.setBlocked(rank, opDone, -1, -1)
 		if p := recover(); p != nil {
-			if s, ok := p.(string); ok && s == cascadeMsg {
-				w.panics[rank] = p
-			} else {
-				// Preserve the failing rank's stack; the re-panic in Run
-				// otherwise hides where it happened.
-				w.panics[rank] = fmt.Sprintf("%v\n%s", p, debug.Stack())
+			switch a := p.(type) {
+			case cascadeAbort:
+				// Woken by a world abort: a victim of another rank's
+				// failure (or the watchdog), not a cause — record nothing.
+			case rankAbort:
+				w.runErrs[rank] = &RankError{Rank: rank, Err: a.err, Stack: debug.Stack()}
+			default:
+				w.runErrs[rank] = &RankError{Rank: rank,
+					Err: fmt.Errorf("panic: %v", p), Stack: debug.Stack()}
 			}
 			// Wake every rank blocked on a receive so the whole world
 			// unwinds instead of deadlocking.
@@ -299,71 +495,79 @@ func rankWorker(jobs chan job, stop chan struct{}) {
 	}
 }
 
-// ensureWorkers starts the persistent rank workers on first use.
+// ensureWorkers starts the persistent rank workers and watchdog on first
+// use.
 func (w *World) ensureWorkers() {
 	w.workersOnce.Do(func() {
 		w.jobs = make([]chan job, w.P)
 		w.comms = make([]*Comm, w.P)
-		w.panics = make([]any, w.P)
+		w.runErrs = make([]*RankError, w.P)
+		w.blocked = make([]atomic.Uint64, w.P)
+		w.wake = make(chan *World, 1)
 		stop := make(chan struct{})
 		for r := 0; r < w.P; r++ {
 			w.jobs[r] = make(chan job, 1)
 			w.comms[r] = &Comm{world: w, rank: r}
 			go rankWorker(w.jobs[r], stop)
 		}
-		// The closure must not capture w, or the World could never become
+		go watchdogLoop(w.wake, stop)
+		// The closures must not capture w, or the World could never become
 		// unreachable and the workers would leak.
 		runtime.SetFinalizer(w, func(*World) { close(stop) })
 	})
 }
 
 // Run executes body on p ranks concurrently and blocks until every rank
-// returns. A panic on any rank is re-raised on the caller (after all other
-// ranks finish or panic) with the rank identified. Per-rank stats are
-// retained on the World and can be collected with TotalStats.
+// returns, then reports how the run ended: nil when every rank completed,
+// a *RankError (rank, cause, stack) when a body called Throw or panicked,
+// or a *DeadlockError when the watchdog had to break a no-progress state.
+// Cascade victims — ranks forcibly unwound because another rank failed —
+// are not reported; the returned error is the originating failure on the
+// lowest-numbered rank. Per-rank stats are retained on the World and can
+// be collected with TotalStats.
 //
 // Run dispatches to persistent per-rank workers, so a warmed-up world
 // executes it without heap allocation. Runs on one World must be
 // sequential: concurrent Run calls would interleave their messages in the
 // shared mailboxes.
-func (w *World) Run(body func(c *Comm)) {
+func (w *World) Run(body func(c *Comm)) error {
 	w.ensureWorkers()
-	// Reset any abort state left by a previous panicked Run so the world
+	// Reset any abort state left by a previous failed Run so the world
 	// stays usable.
 	for _, mb := range w.boxes {
 		mb.clearAbort()
 	}
-	for i := range w.panics {
-		w.panics[i] = nil
+	for i := range w.runErrs {
+		w.runErrs[i] = nil
+	}
+	w.watchErr.Store(nil)
+	for r := range w.blocked {
+		w.blocked[r].Store(packState(opRunning, -1, -1))
+	}
+	if w.faults != nil {
+		w.faults.beginRun(w)
+	}
+	w.noteProgress()
+	w.active.Store(true)
+	select {
+	case w.wake <- w:
+	default:
 	}
 	w.wg.Add(w.P)
 	for r := 0; r < w.P; r++ {
 		w.jobs[r] <- job{w: w, rank: r, body: body}
 	}
 	w.wg.Wait()
-	// Report the original panic, not the cascade panics it triggered on
-	// ranks that were blocked in Recv.
-	first, firstCascade := -1, -1
-	for r, p := range w.panics {
-		if p == nil {
-			continue
-		}
-		if s, ok := p.(string); ok && s == cascadeMsg {
-			if firstCascade == -1 {
-				firstCascade = r
-			}
-			continue
-		}
-		if first == -1 {
-			first = r
+	w.active.Store(false)
+	if de := w.watchErr.Load(); de != nil {
+		return de
+	}
+	for _, re := range w.runErrs {
+		if re != nil {
+			return re
 		}
 	}
-	if first == -1 {
-		first = firstCascade
-	}
-	if first != -1 {
-		panic(fmt.Sprintf("comm: rank %d panicked: %v", first, w.panics[first]))
-	}
+	return nil
 }
 
 // TotalStats returns the sum of all ranks' counters accumulated by Run
@@ -416,31 +620,75 @@ func (w *World) Pending() int {
 // Sending to self is allowed. The copy lives in a pooled buffer that the
 // receiver may hand back with Release once done with it.
 func (c *Comm) Send(dst, tag int, data []float64) {
-	if dst < 0 || dst >= c.world.P {
-		panic(fmt.Sprintf("comm: send to invalid rank %d (P=%d)", dst, c.world.P))
+	w := c.world
+	if dst < 0 || dst >= w.P {
+		c.throwf(ErrInvalidRank, "comm: send to rank %d (P=%d)", dst, w.P)
 	}
-	cp := c.world.pool.get(len(data))
-	copy(cp, data)
 	nbytes := 8 * len(data)
-	c.world.boxes[dst].put(msgKey{src: c.rank, tag: tag}, message{data: cp, bytes: nbytes})
 	c.stats.MsgsSent++
 	c.stats.BytesSent += int64(nbytes)
-	c.stats.SimCommTime += c.world.Model.MessageCost(nbytes)
+	c.stats.SimCommTime += w.Model.MessageCost(nbytes)
+	if fs := w.faults; fs != nil {
+		c.faultPoint()
+		fs.send(c, dst, tag, data, nbytes)
+		return
+	}
+	cp := w.pool.get(len(data))
+	copy(cp, data)
+	w.boxes[dst].put(msgKey{src: c.rank, tag: tag}, message{data: cp, bytes: nbytes})
 }
 
 // Recv blocks until a message from rank src with the given tag arrives and
 // returns its payload. The payload is owned by the caller; callers on a hot
 // path should pass it to Release after consuming it so the buffer recycles
 // instead of reaching the garbage collector.
+//
+// With a Resilience receive timeout configured, a receive that sees nothing
+// for the timeout window retries up to MaxRetries times (backing off by
+// Backoff each round, and requesting retransmission of injected losses
+// first) before aborting the rank with ErrRecvTimeout.
 func (c *Comm) Recv(src, tag int) []float64 {
-	if src < 0 || src >= c.world.P {
-		panic(fmt.Sprintf("comm: recv from invalid rank %d (P=%d)", src, c.world.P))
+	w := c.world
+	if src < 0 || src >= w.P {
+		c.throwf(ErrInvalidRank, "comm: recv from rank %d (P=%d)", src, w.P)
 	}
-	m := c.world.boxes[c.rank].get(msgKey{src: src, tag: tag})
-	c.stats.MsgsRecv++
-	c.stats.BytesRecv += int64(m.bytes)
-	c.stats.SimCommTime += c.world.Model.MessageCost(m.bytes)
-	return m.data
+	c.faultPoint()
+	key := msgKey{src: src, tag: tag}
+	mb := w.boxes[c.rank]
+	seqCheck := w.faults != nil
+	timeout := w.res.RecvTimeout
+	retries := 0
+	for {
+		var deadline time.Time
+		if timeout > 0 {
+			deadline = time.Now().Add(timeout)
+		}
+		m, st := mb.wait(key, deadline, seqCheck)
+		if st == recvOK {
+			c.stats.MsgsRecv++
+			c.stats.BytesRecv += int64(m.bytes)
+			c.stats.SimCommTime += w.Model.MessageCost(m.bytes)
+			return m.data
+		}
+		// Recovery path: ask the injector for a retransmit of the lost or
+		// corrupted message before burning a retry on another wait.
+		if w.faults != nil && w.faults.retransmit(mb, key) {
+			continue
+		}
+		retries++
+		if retries > w.res.MaxRetries {
+			c.throwf(ErrRecvTimeout,
+				"comm: recv(src=%d, tag=%d) gave up after %d retries", src, tag, retries-1)
+		}
+		if st != recvTimeout {
+			// A hole or corruption with nothing to retransmit: the message
+			// is still in flight behind an injected delay. Yield briefly.
+			time.Sleep(50 * time.Microsecond)
+		}
+		if timeout > 0 && w.res.Backoff > 1 {
+			timeout = time.Duration(float64(timeout) * w.res.Backoff)
+		}
+	}
 }
 
 // Release returns a payload previously obtained from Recv to the world's

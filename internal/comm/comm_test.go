@@ -1,7 +1,9 @@
 package comm
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -83,33 +85,59 @@ func TestSendToSelf(t *testing.T) {
 	})
 }
 
-func TestInvalidRankPanics(t *testing.T) {
+func TestInvalidRankReturnsTypedError(t *testing.T) {
 	w := NewWorld(2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for invalid destination")
-		}
-	}()
-	w.Run(func(c *Comm) {
+	err := w.Run(func(c *Comm) {
 		if c.Rank() == 0 {
 			c.Send(5, 0, nil)
 		}
 	})
+	if !errors.Is(err, ErrInvalidRank) {
+		t.Fatalf("err = %v, want ErrInvalidRank", err)
+	}
+	var re *RankError
+	if !errors.As(err, &re) || re.Rank != 0 {
+		t.Fatalf("err = %v, want *RankError on rank 0", err)
+	}
 }
 
-func TestRunPropagatesPanicWithRank(t *testing.T) {
+func TestRunConvertsPanicToRankError(t *testing.T) {
 	w := NewWorld(3)
-	defer func() {
-		p := recover()
-		if p == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	w.Run(func(c *Comm) {
+	err := w.Run(func(c *Comm) {
 		if c.Rank() == 2 {
 			panic("boom")
 		}
 	})
+	var re *RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RankError", err)
+	}
+	if re.Rank != 2 || !strings.Contains(re.Err.Error(), "boom") {
+		t.Fatalf("RankError = rank %d cause %v, want rank 2 / boom", re.Rank, re.Err)
+	}
+	if len(re.Stack) == 0 {
+		t.Fatal("RankError should carry the failing stack")
+	}
+}
+
+func TestThrowSurfacesCause(t *testing.T) {
+	w := NewWorld(2)
+	cause := errors.New("domain failure")
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			Throw(cause)
+		}
+		// Rank 0 blocks so the abort path must unwind it as a cascade
+		// victim without masking rank 1's primary error.
+		c.Recv(1, 3)
+	})
+	if !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want wrapped cause", err)
+	}
+	var re *RankError
+	if !errors.As(err, &re) || re.Rank != 1 {
+		t.Fatalf("err = %v, want *RankError on rank 1", err)
+	}
 }
 
 func TestExchangeSymmetric(t *testing.T) {
@@ -417,19 +445,19 @@ func TestManyWorldsStress(t *testing.T) {
 }
 
 // TestWorldReusableAfterPanic verifies a world recovers for subsequent
-// Run calls after a rank panic aborted it.
+// Run calls after a rank failure aborted it.
 func TestWorldReusableAfterPanic(t *testing.T) {
 	w := NewWorld(3)
-	func() {
-		defer func() { recover() }()
-		w.Run(func(c *Comm) {
-			if c.Rank() == 1 {
-				panic("induced")
-			}
-			// Other ranks block so the abort path must wake them.
-			c.Recv(1, 99)
-		})
-	}()
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("induced")
+		}
+		// Other ranks block so the abort path must wake them.
+		c.Recv(1, 99)
+	})
+	if err == nil {
+		t.Fatal("expected a *RankError from the failed run")
+	}
 	// Drain any stale messages: a fresh Run must still work because all
 	// queues from the failed round were never consumed under new tags.
 	w.Run(func(c *Comm) {

@@ -1,0 +1,118 @@
+// Typed error vocabulary for the comm runtime.
+//
+// Rank bodies run inside World.Run on worker goroutines; the only way out of
+// a deeply nested communication primitive is to unwind the stack. Throw
+// panics with a private non-error wrapper that the Run recovery layer
+// converts into a *RankError, so callers of Run see typed errors while rank
+// code keeps panic-free signatures. The sentinels below are the causes the
+// runtime itself raises; solvers wrap their own domain errors (for example
+// mat.ErrSingular) through the same channel.
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Sentinel causes raised by the runtime. Match with errors.Is against the
+// error returned by World.Run.
+var (
+	// ErrMalformedPayload reports a message payload that does not decode as
+	// the expected wire format (truncated header, inconsistent dimensions).
+	ErrMalformedPayload = errors.New("comm: malformed payload")
+
+	// ErrInvalidRank reports a send/recv/collective addressed to a rank
+	// outside [0, P).
+	ErrInvalidRank = errors.New("comm: invalid rank")
+
+	// ErrRecvTimeout reports a receive that exhausted its retry budget
+	// without the expected message arriving (see Resilience).
+	ErrRecvTimeout = errors.New("comm: recv timeout")
+
+	// ErrInjectedCrash is the cause carried by a *RankError when a FaultPlan
+	// crashed the rank on purpose.
+	ErrInjectedCrash = errors.New("comm: injected crash")
+
+	// ErrLengthMismatch reports collective participants contributing
+	// vectors of different lengths.
+	ErrLengthMismatch = errors.New("comm: length mismatch")
+)
+
+// RankError is the typed failure World.Run returns when a rank body throws
+// or panics. Err is the underlying cause (unwrappable with errors.Is/As);
+// Stack is the failing goroutine's stack at the throw site.
+type RankError struct {
+	Rank  int
+	Err   error
+	Stack []byte
+}
+
+func (e *RankError) Error() string {
+	return fmt.Sprintf("comm: rank %d failed: %v", e.Rank, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *RankError) Unwrap() error { return e.Err }
+
+// BlockedOp describes one rank's blocked operation at the moment a deadlock
+// was declared.
+type BlockedOp struct {
+	Rank int
+	Op   string // "recv" or "stall"
+	Src  int    // sender the rank is waiting on (recv only, else -1)
+	Tag  int    // tag the rank is waiting on (recv only, else -1)
+}
+
+func (b BlockedOp) String() string {
+	if b.Op == "recv" {
+		return fmt.Sprintf("rank %d blocked in recv(src=%d, tag=%d)", b.Rank, b.Src, b.Tag)
+	}
+	return fmt.Sprintf("rank %d blocked in %s", b.Rank, b.Op)
+}
+
+// DeadlockError is returned by World.Run when the watchdog observes a
+// no-progress state: every live rank blocked with no message deliveries for
+// the configured window. Blocked lists each still-blocked rank's operation.
+type DeadlockError struct {
+	Blocked []BlockedOp
+}
+
+func (e *DeadlockError) Error() string {
+	var sb strings.Builder
+	sb.WriteString("comm: deadlock detected")
+	for i, b := range e.Blocked {
+		if i == 0 {
+			sb.WriteString(": ")
+		} else {
+			sb.WriteString("; ")
+		}
+		sb.WriteString(b.String())
+	}
+	return sb.String()
+}
+
+// rankAbort carries a typed error up a rank goroutine's stack. It is
+// deliberately not an error itself: nothing should handle it except the
+// recovery layer in job.run.
+type rankAbort struct {
+	err error
+}
+
+// cascadeAbort unwinds ranks that were woken by a world abort. Such ranks
+// are victims of another rank's failure (or of the watchdog) and must not
+// report an error of their own.
+type cascadeAbort struct{}
+
+// Throw aborts the calling rank's body with a typed cause. It must only be
+// called from inside a World.Run body (any goroutine depth); World.Run
+// returns the cause wrapped in a *RankError. Control does not return.
+func Throw(err error) {
+	//lint:ignore panicpolicy Throw is the one sanctioned unwind point; job.run recovers it into a *RankError.
+	panic(rankAbort{err: err})
+}
+
+// throwf throws a formatted error wrapping cause, tagged with the rank.
+func (c *Comm) throwf(cause error, format string, args ...any) {
+	Throw(fmt.Errorf(format+": %w", append(args, cause)...))
+}

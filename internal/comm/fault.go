@@ -1,0 +1,261 @@
+// Deterministic, seeded fault injection for chaos testing the runtime and
+// the solvers above it.
+//
+// A FaultPlan installs hooks in Send/Recv (and hence every collective,
+// which is built from them): messages can be delayed, dropped, duplicated,
+// or corrupted, and a chosen rank can be crashed or stalled at a chosen
+// operation. Decisions are drawn from per-rank PRNGs seeded from the plan,
+// so a given (plan, program) pair replays identically.
+//
+// Recovery model: while a plan is installed every message carries a
+// per-(src, dst, tag) sequence number and a checksum of its pristine
+// payload. Receivers silently discard duplicates, detect holes (a dropped
+// message) and corruption, and pull the pristine copy back from the
+// injector's lost-message store — the in-process stand-in for a sender
+// retransmit buffer. Losses are therefore recoverable without any solver
+// cooperation; unrecoverable situations surface as ErrRecvTimeout,
+// ErrInjectedCrash, or a watchdog DeadlockError.
+package comm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultPlan describes one deterministic fault scenario. Probabilities are
+// per message in [0, 1]; Drop+Corrupt+Dup should not exceed 1 (they are
+// drawn from one uniform sample, in that priority order). The zero plan
+// injects nothing but still enables sequencing/checksums.
+type FaultPlan struct {
+	Seed int64
+
+	Drop    float64 // message vanishes in flight (recoverable via retransmit)
+	Dup     float64 // message delivered twice
+	Corrupt float64 // payload bits flipped in flight (detected by checksum)
+
+	Delay    float64       // probability a message is delayed at the sender
+	MaxDelay time.Duration // upper bound on the injected delay
+
+	// CrashRank/CrashAtOp abort the given rank with ErrInjectedCrash at its
+	// CrashAtOp'th send/recv operation (1-based; 0 disables).
+	CrashRank int
+	CrashAtOp int
+
+	// StallRank/StallAtOp park the given rank at its StallAtOp'th
+	// operation for StallFor (0 = until the world aborts, which feeds the
+	// watchdog a guaranteed no-progress state).
+	StallRank int
+	StallAtOp int
+	StallFor  time.Duration
+}
+
+// sendKey identifies one directed (dst, tag) message stream for sequence
+// numbering on the sender side.
+type sendKey struct {
+	dst, tag int
+}
+
+// lostKey addresses the injector's lost-message store.
+type lostKey struct {
+	dst int
+	key msgKey
+}
+
+// faultState is the installed injector: the plan, per-rank PRNGs, and the
+// store of pristine copies of dropped/corrupted messages.
+type faultState struct {
+	plan FaultPlan
+	rngs []*rand.Rand
+
+	mu   sync.Mutex
+	lost map[lostKey][]message
+}
+
+// SetFaultPlan installs (or with nil, removes) a fault plan. It must be
+// called while no Run is active; install the plan before the first Run so
+// every message stream is sequenced from the start. With no plan installed
+// the fault hooks are a nil check — the steady-state solve paths stay
+// allocation-free.
+func (w *World) SetFaultPlan(p *FaultPlan) {
+	w.ensureWorkers()
+	if p == nil {
+		w.faults = nil
+		return
+	}
+	fs := &faultState{plan: *p, lost: make(map[lostKey][]message)}
+	fs.rngs = make([]*rand.Rand, w.P)
+	for r := range fs.rngs {
+		mix := (uint64(r) + 1) * 0x9e3779b97f4a7c15
+		fs.rngs[r] = rand.New(rand.NewSource(p.Seed ^ int64(mix>>1)))
+	}
+	w.faults = fs
+	for _, c := range w.comms {
+		c.opCount = 0
+	}
+}
+
+// beginRun resets receiver sequence expectations and sender counters for a
+// fresh Run. Lost messages from a previous run are returned to the pool.
+func (fs *faultState) beginRun(w *World) {
+	fs.mu.Lock()
+	for k, list := range fs.lost {
+		for _, m := range list {
+			w.pool.put(m.data)
+		}
+		delete(fs.lost, k)
+	}
+	fs.mu.Unlock()
+	for _, mb := range w.boxes {
+		mb.resetSeq()
+	}
+	for _, c := range w.comms {
+		for k := range c.sendSeq {
+			delete(c.sendSeq, k)
+		}
+	}
+}
+
+// stash files a pristine message in the lost store for later retransmit.
+func (fs *faultState) stash(dst int, key msgKey, m message) {
+	fs.mu.Lock()
+	lk := lostKey{dst: dst, key: key}
+	fs.lost[lk] = append(fs.lost[lk], m)
+	fs.mu.Unlock()
+}
+
+// retransmit restores the message the receiver is missing (the one with
+// the queue's expected sequence number) to the front of its queue. It
+// reports whether anything was restored.
+func (fs *faultState) retransmit(mb *mailbox, key msgKey) bool {
+	want := mb.expectOf(key)
+	lk := lostKey{dst: mb.rank, key: key}
+	fs.mu.Lock()
+	list := fs.lost[lk]
+	found := -1
+	for i, m := range list {
+		if m.seq == want {
+			found = i
+			break
+		}
+	}
+	if found == -1 {
+		fs.mu.Unlock()
+		return false
+	}
+	m := list[found]
+	fs.lost[lk] = append(list[:found], list[found+1:]...)
+	fs.mu.Unlock()
+	mb.pushFront(key, m)
+	return true
+}
+
+// send is the faulty delivery path, replacing the direct put in Comm.Send
+// while a plan is installed.
+func (fs *faultState) send(c *Comm, dst, tag int, data []float64, nbytes int) {
+	w := c.world
+	rng := fs.rngs[c.rank]
+	if c.sendSeq == nil {
+		c.sendSeq = make(map[sendKey]uint64)
+	}
+	sk := sendKey{dst: dst, tag: tag}
+	seq := c.sendSeq[sk] + 1
+	c.sendSeq[sk] = seq
+
+	cp := w.pool.get(len(data))
+	copy(cp, data)
+	m := message{data: cp, bytes: nbytes, seq: seq, sum: payloadSum(cp)}
+	key := msgKey{src: c.rank, tag: tag}
+
+	if fs.plan.Delay > 0 && fs.plan.MaxDelay > 0 && rng.Float64() < fs.plan.Delay {
+		// Sender-side delay: this rank's later sends to the same queue can
+		// only happen after the sleep, so per-queue FIFO (and with it
+		// sequence order) is preserved.
+		time.Sleep(time.Duration(rng.Int63n(int64(fs.plan.MaxDelay)) + 1))
+	}
+	u := rng.Float64()
+	switch {
+	case u < fs.plan.Drop:
+		fs.stash(dst, key, m)
+		return
+	case u < fs.plan.Drop+fs.plan.Corrupt:
+		pristine := w.pool.get(len(cp))
+		copy(pristine, cp)
+		fs.stash(dst, key, message{data: pristine, bytes: nbytes, seq: seq, sum: m.sum})
+		corruptPayload(rng, cp)
+		w.boxes[dst].put(key, m)
+		return
+	case u < fs.plan.Drop+fs.plan.Corrupt+fs.plan.Dup:
+		dup := w.pool.get(len(cp))
+		copy(dup, cp)
+		w.boxes[dst].put(key, m)
+		w.boxes[dst].put(key, message{data: dup, bytes: nbytes, seq: seq, sum: m.sum})
+		return
+	}
+	w.boxes[dst].put(key, m)
+}
+
+// faultPoint numbers this rank's operations and fires any crash/stall the
+// plan targets at the current one. It is a nil check when no plan is
+// installed.
+func (c *Comm) faultPoint() {
+	fs := c.world.faults
+	if fs == nil {
+		return
+	}
+	c.opCount++
+	p := &fs.plan
+	if p.CrashAtOp > 0 && c.rank == p.CrashRank && c.opCount == p.CrashAtOp {
+		Throw(fmt.Errorf("comm: rank %d at op %d: %w", c.rank, c.opCount, ErrInjectedCrash))
+	}
+	if p.StallAtOp > 0 && c.rank == p.StallRank && c.opCount == p.StallAtOp {
+		c.stall(p.StallFor)
+	}
+}
+
+// stall parks the rank in an opStall state for d (or until the world
+// aborts when d == 0), polling the abort flag so a watchdog-broken world
+// still unwinds this rank.
+func (c *Comm) stall(d time.Duration) {
+	w := c.world
+	mb := w.boxes[c.rank]
+	w.setBlocked(c.rank, opStall, -1, -1)
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	for {
+		if mb.isAborted() {
+			//lint:ignore panicpolicy cascadeAbort is the sanctioned control-flow signal for abort victims; job.run swallows it.
+			panic(cascadeAbort{})
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w.setBlocked(c.rank, opRunning, -1, -1)
+}
+
+// payloadSum is an FNV-style checksum over the payload's bit patterns,
+// mixed with the length so truncation is detectable.
+func payloadSum(data []float64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range data {
+		h ^= math.Float64bits(v)
+		h *= 1099511628211
+	}
+	return h ^ uint64(len(data))
+}
+
+// corruptPayload flips one mantissa bit of one element: a silent
+// single-bit flight error, finite in, finite out.
+func corruptPayload(rng *rand.Rand, data []float64) {
+	if len(data) == 0 {
+		return
+	}
+	i := rng.Intn(len(data))
+	data[i] = math.Float64frombits(math.Float64bits(data[i]) ^ (1 << uint(rng.Intn(52))))
+}

@@ -1,10 +1,19 @@
 package comm
 
-import "blocktri/internal/mat"
+import (
+	"fmt"
+
+	"blocktri/internal/mat"
+)
 
 // Matrix payload helpers. A matrix is shipped as [rows, cols, row-major
 // data...]; the two dimension words count toward the message size, matching
 // the header cost a real MPI datatype would carry.
+//
+// The Try* decoders validate untrusted payloads and return an error
+// wrapping ErrMalformedPayload; the plain decoders are their rank-body
+// counterparts that Throw on malformed input, so a garbled message aborts
+// the rank with a typed cause instead of panicking the process.
 
 // EncodeMatrix flattens m into a payload slice understood by DecodeMatrix.
 func EncodeMatrix(m *mat.Matrix) []float64 {
@@ -18,13 +27,28 @@ func EncodeMatrix(m *mat.Matrix) []float64 {
 	return out
 }
 
-// DecodeMatrix reconstructs a matrix from an EncodeMatrix payload.
-func DecodeMatrix(p []float64) *mat.Matrix {
-	r, c := int(p[0]), int(p[1])
-	if len(p) != 2+r*c {
-		panic("comm: malformed matrix payload")
+// TryDecodeMatrix reconstructs a matrix from an EncodeMatrix payload,
+// reporting malformed input as an error wrapping ErrMalformedPayload.
+func TryDecodeMatrix(p []float64) (*mat.Matrix, error) {
+	if len(p) < 2 {
+		return nil, fmt.Errorf("matrix payload of %d floats has no header: %w", len(p), ErrMalformedPayload)
 	}
-	return mat.NewFromSlice(r, c, p[2:])
+	r, c := int(p[0]), int(p[1])
+	if r < 0 || c < 0 || len(p) != 2+r*c {
+		return nil, fmt.Errorf("matrix payload: header says %dx%d, body has %d floats: %w",
+			r, c, len(p)-2, ErrMalformedPayload)
+	}
+	return mat.NewFromSlice(r, c, p[2:]), nil
+}
+
+// DecodeMatrix reconstructs a matrix from an EncodeMatrix payload. It must
+// be called from a rank body: malformed input throws ErrMalformedPayload.
+func DecodeMatrix(p []float64) *mat.Matrix {
+	m, err := TryDecodeMatrix(p)
+	if err != nil {
+		Throw(err)
+	}
+	return m
 }
 
 // EncodeMatrices concatenates several matrices into one payload, so a
@@ -43,20 +67,47 @@ func EncodeMatrices(ms ...*mat.Matrix) []float64 {
 	return out
 }
 
-// DecodeMatrices splits a payload produced by EncodeMatrices.
-func DecodeMatrices(p []float64) []*mat.Matrix {
+// TryDecodeMatrices splits a payload produced by EncodeMatrices, reporting
+// malformed input as an error wrapping ErrMalformedPayload.
+func TryDecodeMatrices(p []float64) ([]*mat.Matrix, error) {
+	if len(p) < 1 {
+		return nil, fmt.Errorf("empty multi-matrix payload: %w", ErrMalformedPayload)
+	}
 	n := int(p[0])
+	if n < 0 {
+		return nil, fmt.Errorf("multi-matrix payload: negative count %d: %w", n, ErrMalformedPayload)
+	}
 	out := make([]*mat.Matrix, 0, n)
 	k := 1
 	for i := 0; i < n; i++ {
+		if len(p) < k+2 {
+			return nil, fmt.Errorf("multi-matrix payload: part %d of %d truncated: %w", i, n, ErrMalformedPayload)
+		}
 		r, c := int(p[k]), int(p[k+1])
-		out = append(out, DecodeMatrix(p[k:k+2+r*c]))
+		if r < 0 || c < 0 || len(p) < k+2+r*c {
+			return nil, fmt.Errorf("multi-matrix payload: part %d of %d truncated: %w", i, n, ErrMalformedPayload)
+		}
+		m, err := TryDecodeMatrix(p[k : k+2+r*c])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
 		k += 2 + r*c
 	}
 	if k != len(p) {
-		panic("comm: malformed multi-matrix payload")
+		return nil, fmt.Errorf("multi-matrix payload: %d trailing floats: %w", len(p)-k, ErrMalformedPayload)
 	}
-	return out
+	return out, nil
+}
+
+// DecodeMatrices splits a payload produced by EncodeMatrices. It must be
+// called from a rank body: malformed input throws ErrMalformedPayload.
+func DecodeMatrices(p []float64) []*mat.Matrix {
+	ms, err := TryDecodeMatrices(p)
+	if err != nil {
+		Throw(err)
+	}
+	return ms
 }
 
 // SendMatrix ships m to dst under tag.
@@ -84,21 +135,35 @@ func (c *Comm) BcastMatrix(root int, m *mat.Matrix) *mat.Matrix {
 	return DecodeMatrix(c.Bcast(root, payload))
 }
 
-// DecodeMatrixInto copies an EncodeMatrix payload into dst, which must
-// already have the encoded shape. Unlike DecodeMatrix it allocates nothing,
-// so the caller may Release the payload afterwards.
-func DecodeMatrixInto(dst *mat.Matrix, p []float64) {
+// TryDecodeMatrixInto copies an EncodeMatrix payload into dst, which must
+// already have the encoded shape. Unlike TryDecodeMatrix it allocates
+// nothing, so the caller may Release the payload afterwards.
+func TryDecodeMatrixInto(dst *mat.Matrix, p []float64) error {
+	if len(p) < 2 {
+		return fmt.Errorf("matrix payload of %d floats has no header: %w", len(p), ErrMalformedPayload)
+	}
 	r, c := int(p[0]), int(p[1])
-	if len(p) != 2+r*c {
-		panic("comm: malformed matrix payload")
+	if r < 0 || c < 0 || len(p) != 2+r*c {
+		return fmt.Errorf("matrix payload: header says %dx%d, body has %d floats: %w",
+			r, c, len(p)-2, ErrMalformedPayload)
 	}
 	if dst.Rows != r || dst.Cols != c {
-		panic("comm: DecodeMatrixInto shape mismatch")
+		return fmt.Errorf("decode into %dx%d matrix from %dx%d payload: %w",
+			dst.Rows, dst.Cols, r, c, ErrMalformedPayload)
 	}
 	k := 2
 	for i := 0; i < r; i++ {
 		copy(dst.Data[i*dst.Stride:i*dst.Stride+c], p[k:k+c])
 		k += c
+	}
+	return nil
+}
+
+// DecodeMatrixInto is the rank-body counterpart of TryDecodeMatrixInto:
+// malformed input throws ErrMalformedPayload.
+func DecodeMatrixInto(dst *mat.Matrix, p []float64) {
+	if err := TryDecodeMatrixInto(dst, p); err != nil {
+		Throw(err)
 	}
 }
 
@@ -129,7 +194,7 @@ func (c *Comm) EncodeMatrixInto(m *mat.Matrix) []float64 {
 func (c *Comm) BcastMatrixInto(root int, m *mat.Matrix) {
 	p := c.Size()
 	if root < 0 || root >= p {
-		panic("comm: BcastMatrixInto invalid root")
+		c.throwf(ErrInvalidRank, "comm: BcastMatrixInto root %d (P=%d)", root, p)
 	}
 	rel := (c.Rank() - root + p) % p
 	var payload []float64

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -28,12 +29,17 @@ func TestEncodeMatrixFromView(t *testing.T) {
 }
 
 func TestDecodeMatrixRejectsMalformed(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+	cases := [][]float64{
+		{2, 2, 1, 2, 3}, // says 2x2 but only 3 values
+		{2},             // no header
+		{-1, -4, 1, 2, 3, 4},
+		nil,
+	}
+	for _, p := range cases {
+		if _, err := TryDecodeMatrix(p); !errors.Is(err, ErrMalformedPayload) {
+			t.Fatalf("TryDecodeMatrix(%v) err = %v, want ErrMalformedPayload", p, err)
 		}
-	}()
-	DecodeMatrix([]float64{2, 2, 1, 2, 3}) // says 2x2 but only 3 values
+	}
 }
 
 func TestEncodeDecodeMatrices(t *testing.T) {
@@ -48,12 +54,12 @@ func TestEncodeDecodeMatrices(t *testing.T) {
 func TestDecodeMatricesRejectsTrailing(t *testing.T) {
 	p := EncodeMatrices(mat.Identity(2))
 	p = append(p, 99)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	DecodeMatrices(p)
+	if _, err := TryDecodeMatrices(p); !errors.Is(err, ErrMalformedPayload) {
+		t.Fatalf("err = %v, want ErrMalformedPayload", err)
+	}
+	if _, err := TryDecodeMatrices([]float64{3, 2, 2, 1}); !errors.Is(err, ErrMalformedPayload) {
+		t.Fatalf("truncated bundle err = %v, want ErrMalformedPayload", err)
+	}
 }
 
 func TestSendRecvMatrixAcrossRanks(t *testing.T) {

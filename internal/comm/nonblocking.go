@@ -1,7 +1,5 @@
 package comm
 
-import "fmt"
-
 // Request represents an outstanding non-blocking receive. Sends in this
 // runtime are always asynchronous (buffering is unbounded), so ISend
 // completes immediately; IRecv returns a Request whose Wait blocks until
@@ -27,7 +25,7 @@ func (c *Comm) ISend(dst, tag int, data []float64) {
 // (the usual MPI guidance).
 func (c *Comm) IRecv(src, tag int) *Request {
 	if src < 0 || src >= c.world.P {
-		panic(fmt.Sprintf("comm: irecv from invalid rank %d (P=%d)", src, c.world.P))
+		c.throwf(ErrInvalidRank, "comm: irecv from rank %d (P=%d)", src, c.world.P)
 	}
 	return &Request{c: c, src: src, tag: tag}
 }
@@ -74,7 +72,7 @@ func WaitAll(reqs ...*Request) [][]float64 {
 func (c *Comm) Alltoall(data [][]float64) [][]float64 {
 	p := c.Size()
 	if len(data) != p {
-		panic(fmt.Sprintf("comm: Alltoall needs %d pieces, got %d", p, len(data)))
+		c.throwf(ErrLengthMismatch, "comm: Alltoall needs %d pieces, got %d", p, len(data))
 	}
 	out := make([][]float64, p)
 	for q := 0; q < p; q++ {
@@ -94,14 +92,14 @@ func (c *Comm) Alltoall(data [][]float64) [][]float64 {
 func (c *Comm) ReduceScatter(data []float64, counts []int, op ReduceOp) []float64 {
 	p := c.Size()
 	if len(counts) != p {
-		panic(fmt.Sprintf("comm: ReduceScatter needs %d counts, got %d", p, len(counts)))
+		c.throwf(ErrLengthMismatch, "comm: ReduceScatter needs %d counts, got %d", p, len(counts))
 	}
 	total := 0
 	for _, n := range counts {
 		total += n
 	}
 	if total != len(data) {
-		panic(fmt.Sprintf("comm: ReduceScatter counts sum %d != len(data) %d", total, len(data)))
+		c.throwf(ErrLengthMismatch, "comm: ReduceScatter counts sum %d != len(data) %d", total, len(data))
 	}
 	full := c.Reduce(0, data, op)
 	if c.Rank() == 0 {
@@ -125,7 +123,7 @@ func (c *Comm) Scatter(root int, pieces [][]float64) []float64 {
 	p := c.Size()
 	if c.Rank() == root {
 		if len(pieces) != p {
-			panic(fmt.Sprintf("comm: Scatter needs %d pieces, got %d", p, len(pieces)))
+			c.throwf(ErrLengthMismatch, "comm: Scatter needs %d pieces, got %d", p, len(pieces))
 		}
 		for q := 0; q < p; q++ {
 			if q == root {

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -55,16 +56,14 @@ func TestRequestTest(t *testing.T) {
 
 func TestIRecvInvalidRank(t *testing.T) {
 	w := NewWorld(2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	w.Run(func(c *Comm) {
+	err := w.Run(func(c *Comm) {
 		if c.Rank() == 0 {
 			c.IRecv(7, 0)
 		}
 	})
+	if !errors.Is(err, ErrInvalidRank) {
+		t.Fatalf("err = %v, want ErrInvalidRank", err)
+	}
 }
 
 func TestWaitAll(t *testing.T) {
@@ -108,14 +107,12 @@ func TestAlltoall(t *testing.T) {
 
 func TestAlltoallWrongPieceCount(t *testing.T) {
 	w := NewWorld(2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	w.Run(func(c *Comm) {
+	err := w.Run(func(c *Comm) {
 		c.Alltoall(make([][]float64, 1))
 	})
+	if !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("err = %v, want ErrLengthMismatch", err)
+	}
 }
 
 func TestReduceScatter(t *testing.T) {
@@ -152,14 +149,12 @@ func TestReduceScatter(t *testing.T) {
 
 func TestReduceScatterBadCounts(t *testing.T) {
 	w := NewWorld(2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	w.Run(func(c *Comm) {
+	err := w.Run(func(c *Comm) {
 		c.ReduceScatter([]float64{1, 2, 3}, []int{1, 1}, OpSum)
 	})
+	if !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("err = %v, want ErrLengthMismatch", err)
+	}
 }
 
 func TestScatter(t *testing.T) {

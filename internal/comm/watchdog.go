@@ -1,0 +1,141 @@
+// World watchdog: detects no-progress states and converts what would be an
+// eternal hang into a *DeadlockError naming each blocked rank's (src, tag).
+//
+// The detector is deliberately cheap: ranks publish their execution state
+// into per-rank atomics only when they actually park (the deliver-
+// immediately receive path never touches them), every observable event
+// bumps one shared progress counter, and the watchdog goroutine just
+// samples both on a coarse tick while a Run is active. A deadlock is
+// declared only when every rank is done or parked, at least one is parked,
+// and the progress counter has not moved for the DeadlockAfter window —
+// so a rank grinding through a long local computation can never trip it.
+package comm
+
+import (
+	"time"
+)
+
+// DefaultDeadlockAfter is the no-progress window after which the watchdog
+// declares a deadlock when Resilience.DeadlockAfter is unset. It is
+// generous: production protocols never legitimately stall this long with
+// every rank parked.
+const DefaultDeadlockAfter = 2 * time.Second
+
+// Resilience configures the runtime's failure-handling behavior. The zero
+// value means: no receive timeouts (receives wait until the message arrives
+// or the watchdog fires) and the default deadlock window.
+type Resilience struct {
+	// RecvTimeout bounds each receive wait. 0 disables timeouts: receives
+	// block until delivery, abort, or watchdog.
+	RecvTimeout time.Duration
+	// MaxRetries is how many additional timed waits a receive performs
+	// after the first timeout before aborting with ErrRecvTimeout.
+	MaxRetries int
+	// Backoff multiplies the receive timeout after each retry when > 1.
+	Backoff float64
+	// DeadlockAfter is the no-progress window before the watchdog declares
+	// a deadlock. 0 means DefaultDeadlockAfter.
+	DeadlockAfter time.Duration
+}
+
+// SetResilience installs the failure-handling configuration. It must be
+// called while no Run is active.
+func (w *World) SetResilience(res Resilience) {
+	w.res = res
+}
+
+// deadlockAfter returns the effective no-progress window.
+func (w *World) deadlockAfter() time.Duration {
+	if w.res.DeadlockAfter > 0 {
+		return w.res.DeadlockAfter
+	}
+	return DefaultDeadlockAfter
+}
+
+// watchTick picks the sampling interval: coarse by default, fine enough to
+// give timed receives reasonable resolution in resilient mode and to
+// detect deadlocks promptly under a short window.
+func (w *World) watchTick() time.Duration {
+	tick := 10 * time.Millisecond
+	if rt := w.res.RecvTimeout; rt > 0 && rt/4 < tick {
+		tick = rt / 4
+	}
+	if da := w.deadlockAfter(); da/4 < tick {
+		tick = da / 4
+	}
+	if tick < 500*time.Microsecond {
+		tick = 500 * time.Microsecond
+	}
+	return tick
+}
+
+// watchdogLoop is the persistent watchdog goroutine, one per World. Like
+// rankWorker it holds no *World reference while idle — Run passes the world
+// through the wake channel — so the finalizer can still reap it.
+func watchdogLoop(wake chan *World, stop chan struct{}) {
+	for {
+		select {
+		case w := <-wake:
+			w.watch()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// watch monitors one active Run until it completes or deadlocks.
+func (w *World) watch() {
+	last := w.progress.Load()
+	lastChange := time.Now()
+	resilient := w.res.RecvTimeout > 0 || w.faults != nil
+	for w.active.Load() {
+		time.Sleep(w.watchTick())
+		if !w.active.Load() {
+			return
+		}
+		if resilient {
+			// Wake timed waiters so they can re-check their deadlines;
+			// sync.Cond has no native timed wait.
+			for _, mb := range w.boxes {
+				mb.kick()
+			}
+		}
+		cur := w.progress.Load()
+		if cur != last {
+			last = cur
+			lastChange = time.Now()
+			continue
+		}
+		if time.Since(lastChange) < w.deadlockAfter() {
+			continue
+		}
+		// No observable progress for the whole window. Deadlock iff every
+		// rank is done or parked and at least one is parked.
+		var blocked []BlockedOp
+		all := true
+		for r := range w.blocked {
+			op, src, tag := unpackState(w.blocked[r].Load())
+			switch op {
+			case opDone:
+			case opRecv:
+				blocked = append(blocked, BlockedOp{Rank: r, Op: "recv", Src: src, Tag: tag})
+			case opStall:
+				blocked = append(blocked, BlockedOp{Rank: r, Op: "stall", Src: -1, Tag: -1})
+			default:
+				all = false
+			}
+		}
+		if !all || len(blocked) == 0 {
+			continue
+		}
+		if w.progress.Load() != last {
+			// A rank moved while we were sampling; not a deadlock.
+			continue
+		}
+		w.watchErr.Store(&DeadlockError{Blocked: blocked})
+		for _, mb := range w.boxes {
+			mb.abort()
+		}
+		return
+	}
+}

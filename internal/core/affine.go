@@ -12,6 +12,8 @@
 package core
 
 import (
+	"fmt"
+
 	"blocktri/internal/comm"
 	"blocktri/internal/mat"
 )
@@ -86,12 +88,16 @@ func encodeAffine(a Affine) []float64 {
 }
 
 func decodeAffine(p []float64) Affine {
+	if len(p) == 0 {
+		comm.Throw(fmt.Errorf("core: empty affine payload: %w", comm.ErrMalformedPayload))
+	}
 	if p[0] == 0 {
 		return Affine{}
 	}
 	ms := comm.DecodeMatrices(p[1:])
 	if len(ms) != 2 {
-		panic("core: malformed affine payload")
+		comm.Throw(fmt.Errorf("core: affine payload carries %d matrices, want 2: %w",
+			len(ms), comm.ErrMalformedPayload))
 	}
 	return Affine{S: ms[0], H: ms[1]}
 }
@@ -108,6 +114,9 @@ func encodeSMat(s *mat.Matrix) []float64 {
 }
 
 func decodeSMat(p []float64) *mat.Matrix {
+	if len(p) == 0 {
+		comm.Throw(fmt.Errorf("core: empty S payload: %w", comm.ErrMalformedPayload))
+	}
 	if p[0] == 0 {
 		return nil
 	}
@@ -138,12 +147,20 @@ func encodeHMatWS(ws *mat.Workspace, h *mat.Matrix) []float64 {
 // storage (nil for the identity flag). It copies, so the caller may Release
 // the payload afterwards.
 func decodeHMatWS(ws *mat.Workspace, p []float64) *mat.Matrix {
+	if len(p) == 0 {
+		comm.Throw(fmt.Errorf("core: empty H payload: %w", comm.ErrMalformedPayload))
+	}
 	if p[0] == 0 {
 		return nil
 	}
+	if len(p) < 3 {
+		comm.Throw(fmt.Errorf("core: H payload of %d floats has no header: %w",
+			len(p), comm.ErrMalformedPayload))
+	}
 	r, c := int(p[1]), int(p[2])
-	if len(p) != 3+r*c {
-		panic("core: malformed H payload")
+	if r < 0 || c < 0 || len(p) != 3+r*c {
+		comm.Throw(fmt.Errorf("core: H payload header says %dx%d, body has %d floats: %w",
+			r, c, len(p)-3, comm.ErrMalformedPayload))
 	}
 	h := ws.GetNoClear(r, c)
 	copy(h.Data, p[3:])

@@ -127,12 +127,16 @@ func (s *ARD) Factor() error {
 	s.rk = make([]*ardRankState, w.P)
 	perRank := make([]int64, w.P)
 	var es errSlot
-	w.Run(func(c *comm.Comm) {
+	runErr := w.Run(func(c *comm.Comm) {
 		perRank[c.Rank()] = s.factorRank(c, &es)
 	})
 	if err := es.get(); err != nil {
 		s.rk = nil
 		return err
+	}
+	if runErr != nil {
+		s.rk = nil
+		return runErr
 	}
 	s.factored = true
 	s.factorStats = SolveStats{
@@ -327,8 +331,11 @@ func (s *ARD) SolveTo(x, b *mat.Matrix) error {
 		}
 	}
 	s.solveB, s.solveX = b, x
-	w.Run(s.solveBody)
+	runErr := w.Run(s.solveBody)
 	s.solveB, s.solveX = nil, nil
+	if runErr != nil {
+		return runErr
+	}
 	s.solveStats = SolveStats{
 		Comm:         w.TotalStats(),
 		MaxSimComm:   w.MaxSimCommTime(),

@@ -335,9 +335,10 @@ func safeDecodeLU(fs []float64) (*mat.LU, error) {
 	return lu, nil
 }
 
-// safeDecodeMatrix validates an untrusted matrix payload before decoding,
-// returning an error instead of the panic comm.DecodeMatrix reserves for
-// in-process protocol bugs.
+// safeDecodeMatrix validates an untrusted matrix payload before decoding.
+// It rejects non-integral or implausibly large dimensions that
+// comm.TryDecodeMatrix (which trusts in-process senders to encode integral
+// headers) would accept.
 func safeDecodeMatrix(fs []float64) (*mat.Matrix, error) {
 	if len(fs) < 2 {
 		return nil, fmt.Errorf("core: malformed matrix section (len %d)", len(fs))
@@ -349,8 +350,9 @@ func safeDecodeMatrix(fs []float64) (*mat.Matrix, error) {
 		r < 0 || c < 0 || r > maxDim || c > maxDim {
 		return nil, fmt.Errorf("core: implausible matrix dimensions %v x %v", r, c)
 	}
-	if len(fs) != 2+int(r)*int(c) {
-		return nil, fmt.Errorf("core: matrix payload length %d != %v x %v", len(fs)-2, r, c)
+	m, err := comm.TryDecodeMatrix(fs)
+	if err != nil {
+		return nil, fmt.Errorf("core: matrix section: %w", err)
 	}
-	return comm.DecodeMatrix(fs), nil
+	return m, nil
 }

@@ -186,12 +186,16 @@ func (s *PCR) Factor() error {
 	s.rk = make([]*pcrRankState, w.P)
 	perRank := make([]int64, w.P)
 	var es errSlot
-	w.Run(func(c *comm.Comm) {
+	runErr := w.Run(func(c *comm.Comm) {
 		perRank[c.Rank()] = s.factorRank(c, &es)
 	})
 	if err := es.get(); err != nil {
 		s.rk = nil
 		return err
+	}
+	if runErr != nil {
+		s.rk = nil
+		return runErr
 	}
 	s.factored = true
 	s.factorStats = SolveStats{
@@ -343,6 +347,7 @@ func (s *PCR) factorRank(c *comm.Comm, es *errSlot) int64 {
 			if cur.l != nil {
 				prev, ok := rowAt(i - d)
 				if !ok {
+					//lint:ignore panicpolicy partition invariant, not an input condition: the halo exchange delivered this row one level earlier.
 					panic(fmt.Sprintf("core: pcr missing halo row %d at d=%d", i-d, d))
 				}
 				alpha := mat.New(m, m)
@@ -362,6 +367,7 @@ func (s *PCR) factorRank(c *comm.Comm, es *errSlot) int64 {
 			if cur.u != nil {
 				nxt, ok := rowAt(i + d)
 				if !ok {
+					//lint:ignore panicpolicy partition invariant, not an input condition: the halo exchange delivered this row one level earlier.
 					panic(fmt.Sprintf("core: pcr missing halo row %d at d=%d", i+d, d))
 				}
 				beta := mat.New(m, m)
@@ -417,9 +423,11 @@ func (s *PCR) Solve(b *mat.Matrix) (*mat.Matrix, error) {
 	//lint:ignore hotalloc Solve returns a caller-owned result matrix
 	x := mat.New(s.a.N*s.a.M, b.Cols)
 	perRank := make([]int64, w.P)
-	w.Run(func(c *comm.Comm) {
+	if err := w.Run(func(c *comm.Comm) {
 		perRank[c.Rank()] = s.solveRank(c, b, x)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	s.solveStats = SolveStats{
 		Comm:       w.TotalStats(),
 		MaxSimComm: w.MaxSimCommTime(),

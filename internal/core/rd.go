@@ -122,11 +122,14 @@ func (rd *RD) Solve(b *mat.Matrix) (*mat.Matrix, error) {
 	perRank := make([]int64, w.P)
 	growth := make([]float64, w.P)
 	var es errSlot
-	w.Run(func(c *comm.Comm) {
+	runErr := w.Run(func(c *comm.Comm) {
 		perRank[c.Rank()], growth[c.Rank()] = rd.rdSolveRank(c, b, x, &es)
 	})
 	if err := es.get(); err != nil {
 		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 	rd.stats = SolveStats{
 		Comm:         w.TotalStats(),

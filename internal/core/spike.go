@@ -133,12 +133,16 @@ func (s *Spike) Factor() error {
 	s.rk = make([]*spikeRankState, p)
 	perRank := make([]int64, p)
 	var es errSlot
-	w.Run(func(c *comm.Comm) {
+	runErr := w.Run(func(c *comm.Comm) {
 		perRank[c.Rank()] = s.factorRank(c, &es)
 	})
 	if err := es.get(); err != nil {
 		s.rk = nil
 		return err
+	}
+	if runErr != nil {
+		s.rk = nil
+		return runErr
 	}
 	s.factored = true
 	s.factorStats = SolveStats{
@@ -305,11 +309,14 @@ func (s *Spike) Solve(b *mat.Matrix) (*mat.Matrix, error) {
 	x := mat.New(s.a.N*s.a.M, b.Cols)
 	perRank := make([]int64, w.P)
 	var es errSlot
-	w.Run(func(c *comm.Comm) {
+	runErr := w.Run(func(c *comm.Comm) {
 		perRank[c.Rank()] = s.solveRank(c, b, x, &es)
 	})
 	if err := es.get(); err != nil {
 		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 	s.solveStats = SolveStats{
 		Comm:       w.TotalStats(),

@@ -1,6 +1,7 @@
 package prefix
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -127,14 +128,16 @@ func TestExScanRanksAllSchedules(t *testing.T) {
 
 func TestBrentKungRejectsNonPowerOfTwo(t *testing.T) {
 	w := comm.NewWorld(3)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for P=3 Brent-Kung")
-		}
-	}()
-	w.Run(func(c *comm.Comm) {
+	err := w.Run(func(c *comm.Comm) {
 		ExScanRanks(c, []float64{1}, concat, sliceCodec, BrentKung, 100)
 	})
+	if err == nil {
+		t.Fatal("expected an error for P=3 Brent-Kung")
+	}
+	var re *comm.RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *comm.RankError", err)
+	}
 }
 
 func TestScanRanksInclusive(t *testing.T) {

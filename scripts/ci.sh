@@ -1,6 +1,6 @@
 #!/bin/sh
 # Full verification pipeline: build, vet, domain lint, tests, race tests,
-# perf-regression gate. Run from the repository root (make ci).
+# chaos smoke, perf-regression gate. Run from the repository root (make ci).
 set -eux
 
 go build ./...
@@ -8,6 +8,10 @@ go vet ./...
 go run ./cmd/blocktri-lint ./...
 go test ./...
 go test -race ./...
+# Chaos smoke: a fixed-seed fault-injection campaign over every solver.
+# The invariant (docs/RESILIENCE.md): each trial ends in a correct solution
+# or a clean typed error — never a hang, never a silent wrong answer.
+go run ./cmd/blocktri-chaos -seed 1 -plans 32
 # Perf gate: re-measure the hot paths and fail on >15% ns/op regression or
 # any allocs/op increase against the committed BENCH_*.json baselines.
 # After an intentional perf change, refresh them with `make bench-baseline`.
