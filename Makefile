@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-baseline bench-compare verify chaos chaos-soak experiments experiments-quick ci clean
+.PHONY: all build vet lint lint-sarif test race bench bench-baseline bench-compare verify chaos chaos-soak experiments experiments-quick ci clean
 
 all: build vet lint test
 
@@ -14,6 +14,11 @@ vet:
 
 lint:
 	$(GO) run ./cmd/blocktri-lint ./...
+
+# Same findings as `lint`, rendered as SARIF 2.1.0 for code-scanning UIs.
+lint-sarif:
+	mkdir -p reports
+	$(GO) run ./cmd/blocktri-lint -format sarif ./... > reports/lint.sarif
 
 test:
 	$(GO) test ./...
@@ -53,4 +58,4 @@ experiments-quick:
 	$(GO) run ./cmd/blocktri-bench -exp all -quick
 
 clean:
-	rm -rf results transport.ardf
+	rm -rf results reports transport.ardf

@@ -1,24 +1,31 @@
 // Command blocktri-lint runs the module's domain static-analysis suite
-// (internal/analysis): matalias, commlock, commtag, floateq and
-// panicpolicy. It loads and type-checks the whole module from source using
-// only the standard library, reports findings as
+// (internal/analysis). The syntactic analyzers — matalias, commlock,
+// commtag, floateq, panicpolicy, hotalloc — are joined by four
+// flow-sensitive ones built on the intraprocedural dataflow engine:
+// wsescape (arena-lifetime), poolrelease (pooled-buffer leaks), errdiscard
+// (dropped error results) and commshape (SPMD send/recv pairing). It loads
+// and type-checks the whole module from source using only the standard
+// library, reports findings as
 //
 //	file:line: [analyzer] message
 //
-// and exits nonzero if any finding survives suppression
-// ("//lint:ignore <analyzer> reason" on or above the offending line).
+// (or as JSON / SARIF 2.1.0 with -format), and exits nonzero if any finding
+// survives suppression ("//lint:ignore <analyzer> reason" on or above the
+// offending line).
 //
 // Usage:
 //
 //	blocktri-lint ./...             # lint the whole module (the default)
 //	blocktri-lint -floateq=false ./...
-//	blocktri-lint -only commtag ./...
+//	blocktri-lint -only commshape ./...
+//	blocktri-lint -format sarif ./... > lint.sarif
 //	blocktri-lint -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,33 +34,46 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("blocktri-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+
 	analyzers := analysis.Analyzers()
 	enabled := make(map[string]*bool, len(analyzers))
 	for _, a := range analyzers {
-		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer ("+a.Doc+")")
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer ("+a.Doc+")")
 	}
-	only := flag.String("only", "", "comma-separated list of analyzers to run (overrides the per-analyzer flags)")
-	list := flag.Bool("list", false, "list analyzers and exit")
-	verbose := flag.Bool("v", false, "also report how many findings were suppressed")
-	flag.Parse()
+	only := fs.String("only", "", "comma-separated list of analyzers to run (overrides the per-analyzer flags)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	format := fs.String("format", "text", "output format: text, json or sarif")
+	verbose := fs.Bool("v", false, "also report how many findings were suppressed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "blocktri-lint: unknown format %q (use text, json or sarif)\n", *format)
+		return 2
 	}
 
 	// The loader always analyzes the whole module containing the working
 	// directory; "./..." is accepted for familiarity, anything narrower is
 	// not supported.
-	for _, arg := range flag.Args() {
+	for _, arg := range fs.Args() {
 		if arg != "./..." && arg != "." {
-			fmt.Fprintf(os.Stderr, "blocktri-lint: only module-wide runs are supported; got %q (use ./...)\n", arg)
+			fmt.Fprintf(stderr, "blocktri-lint: only module-wide runs are supported; got %q (use ./...)\n", arg)
 			return 2
 		}
 	}
@@ -63,7 +83,7 @@ func run() int {
 		for _, name := range strings.Split(*only, ",") {
 			name = strings.TrimSpace(name)
 			if _, ok := enabled[name]; !ok {
-				fmt.Fprintf(os.Stderr, "blocktri-lint: unknown analyzer %q (use -list)\n", name)
+				fmt.Fprintf(stderr, "blocktri-lint: unknown analyzer %q (use -list)\n", name)
 				return 2
 			}
 			selected[name] = true
@@ -75,27 +95,29 @@ func run() int {
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "blocktri-lint: %v\n", err)
+		fmt.Fprintf(stderr, "blocktri-lint: %v\n", err)
 		return 2
 	}
 	root, err := analysis.FindModuleRoot(cwd)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "blocktri-lint: %v\n", err)
+		fmt.Fprintf(stderr, "blocktri-lint: %v\n", err)
 		return 2
 	}
 	m, err := analysis.LoadModule(root)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "blocktri-lint: %v\n", err)
+		fmt.Fprintf(stderr, "blocktri-lint: %v\n", err)
 		return 2
 	}
 	sup := analysis.CollectSuppressions(m)
 
 	var findings []analysis.Finding
+	var ran []*analysis.Analyzer
 	suppressed := 0
 	for _, a := range analyzers {
 		if !*enabled[a.Name] {
 			continue
 		}
+		ran = append(ran, a)
 		all := a.Run(m)
 		kept := analysis.FilterSuppressed(all, sup)
 		suppressed += len(all) - len(kept)
@@ -103,18 +125,31 @@ func run() int {
 	}
 	analysis.SortFindings(findings)
 
-	for _, f := range findings {
-		name := f.Pos.Filename
-		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
+	switch *format {
+	case "json":
+		if err := analysis.WriteJSON(stdout, findings, cwd); err != nil {
+			fmt.Fprintf(stderr, "blocktri-lint: %v\n", err)
+			return 2
 		}
-		fmt.Printf("%s:%d: [%s] %s\n", name, f.Pos.Line, f.Analyzer, f.Message)
+	case "sarif":
+		if err := analysis.WriteSARIF(stdout, ran, findings, cwd); err != nil {
+			fmt.Fprintf(stderr, "blocktri-lint: %v\n", err)
+			return 2
+		}
+	default:
+		for _, f := range findings {
+			name := f.Pos.Filename
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", name, f.Pos.Line, f.Analyzer, f.Message)
+		}
 	}
 	if *verbose && suppressed > 0 {
-		fmt.Fprintf(os.Stderr, "blocktri-lint: %d finding(s) suppressed by lint:ignore directives\n", suppressed)
+		fmt.Fprintf(stderr, "blocktri-lint: %d finding(s) suppressed by lint:ignore directives\n", suppressed)
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "blocktri-lint: %d finding(s)\n", len(findings))
+		fmt.Fprintf(stderr, "blocktri-lint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0

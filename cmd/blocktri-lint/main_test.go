@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// lintTimeBudget bounds one cold whole-repo run (load + type-check + all
+// ten analyzers). The dataflow analyzers solve a fixed-point per function
+// body; if someone makes the transfer functions superlinear, this is the
+// tripwire.
+const lintTimeBudget = 5 * time.Second
+
+// TestRepoIsLintClean is the driver-level regression gate: a full run of
+// every analyzer over the real module source must produce zero unsuppressed
+// diagnostics. If an analyzer change starts flagging shipped code, this
+// fails with the exact findings in the error message.
+func TestRepoIsLintClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	start := time.Now()
+	code := run([]string{"./..."}, &stdout, &stderr)
+	elapsed := time.Since(start)
+	if code != 0 {
+		t.Fatalf("blocktri-lint exited %d over the repo\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if out := strings.TrimSpace(stdout.String()); out != "" {
+		t.Fatalf("expected no findings, got:\n%s", out)
+	}
+	if !raceEnabled && elapsed > lintTimeBudget {
+		t.Fatalf("whole-repo lint took %v, budget is %v", elapsed, lintTimeBudget)
+	}
+}
+
+// BenchmarkLintRepo measures a full cold run: module load, type-check and
+// all analyzers. Run with -benchtime=3x or similar; each iteration reloads
+// the module from disk.
+func BenchmarkLintRepo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+			b.Fatalf("blocktri-lint exited %d\n%s\n%s", code, stdout.String(), stderr.String())
+		}
+	}
+}
+
+// TestJSONFormat checks that -format json emits a well-formed (possibly
+// empty) array over a clean tree.
+func TestJSONFormat(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-format", "json", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 0 {
+		t.Fatalf("expected empty findings array, got %d", len(findings))
+	}
+}
+
+// TestSARIFFormat checks that -format sarif emits a SARIF 2.1.0 log naming
+// every analyzer that ran as a rule, even when there are no results.
+func TestSARIFFormat(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-format", "sarif", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("output is not SARIF JSON: %v\n%s", err, stdout.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected SARIF shape: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	d := log.Runs[0].Tool.Driver
+	if d.Name != "blocktri-lint" {
+		t.Fatalf("driver name %q", d.Name)
+	}
+	rules := make(map[string]bool, len(d.Rules))
+	for _, r := range d.Rules {
+		rules[r.ID] = true
+	}
+	for _, want := range []string{"wsescape", "poolrelease", "errdiscard", "commshape", "matalias", "commtag"} {
+		if !rules[want] {
+			t.Errorf("SARIF rules missing %q (got %v)", want, d.Rules)
+		}
+	}
+	if len(log.Runs[0].Results) != 0 {
+		t.Fatalf("expected zero SARIF results over a clean tree, got %d", len(log.Runs[0].Results))
+	}
+}
+
+// TestBadFormatRejected guards the usage error path.
+func TestBadFormatRejected(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-format", "xml", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("expected exit 2 for unknown format, got %d", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown format") {
+		t.Fatalf("stderr missing diagnostic: %s", stderr.String())
+	}
+}

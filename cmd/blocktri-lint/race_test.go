@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// Race instrumentation slows the type-checker and the dataflow solver by
+// 2-3x; the lint time budget only means something in a plain build.
+const raceEnabled = true

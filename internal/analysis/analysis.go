@@ -54,6 +54,10 @@ func Analyzers() []*Analyzer {
 		floatEqAnalyzer,
 		panicPolicyAnalyzer,
 		hotAllocAnalyzer,
+		wsEscapeAnalyzer,
+		poolReleaseAnalyzer,
+		errDiscardAnalyzer,
+		commShapeAnalyzer,
 	}
 }
 

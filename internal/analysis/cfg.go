@@ -1,0 +1,451 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Control-flow graph construction over go/ast function bodies.
+//
+// The syntactic analyzers of PR 1 reason in source order, which is exact for
+// straight-line code and conservative everywhere else. The contracts added
+// since — workspace checkouts that die at Reset, pooled payloads that must
+// reach Release on every path, typed errors that must be looked at — are
+// path properties, so this file gives the analysis framework a real CFG:
+// basic blocks of statements and condition fragments connected by branch,
+// loop, switch, short-circuit and defer edges, over which dataflow.go runs
+// fixed-point iteration.
+//
+// Design decisions, chosen for the analyzers this engine serves:
+//
+//   - Nodes are whole statements (AssignStmt, ExprStmt, ReturnStmt, ...)
+//     except for branch conditions, which are decomposed so that && and ||
+//     get genuine short-circuit edges: in `if a && b`, b evaluates only on
+//     a's true edge.
+//   - `defer f(x)` is modeled by running the deferred call in the Exit
+//     block, which every return reaches. This is exact for the dominant
+//     idiom (unconditional defer right after an acquisition) and
+//     over-approximates conditionally registered defers by assuming they
+//     run; registration-time argument evaluation is not re-modeled.
+//   - Compound statements never appear as nodes themselves; only their
+//     evaluated fragments do (a RangeStmt appears in its head block so
+//     transfer functions can see the loop-variable rebinding, but analyzers
+//     must not descend into its Body — see walkExprs).
+//   - panic(...) terminates its block with an edge to Exit (the deferred
+//     calls still run), matching Go semantics closely enough for
+//     path-sensitive release/escape tracking.
+//   - goto is handled conservatively by edging to Exit; the module does not
+//     use it, and a conservative edge only widens states.
+type CFG struct {
+	Entry *Block
+	// Exit is the single synthetic exit block; return statements edge to it
+	// and deferred calls execute in it (in reverse registration order).
+	Exit   *Block
+	Blocks []*Block
+}
+
+// Block is one basic block: nodes that execute consecutively with no
+// internal branching, followed by zero or more successor edges.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// cfgBuilder holds the state of one function body's construction.
+type cfgBuilder struct {
+	cfg *CFG
+	// cur is the block under construction; nil after a terminating
+	// statement (return, panic, break, ...) until new reachable code opens
+	// a block.
+	cur *Block
+	// frames tracks enclosing breakable/continuable constructs for
+	// break/continue resolution, innermost last.
+	frames []ctrlFrame
+	defers []*ast.CallExpr
+}
+
+// ctrlFrame is one enclosing loop, switch or select.
+type ctrlFrame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = &Block{} // appended last, after all interior blocks
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List, "")
+	if b.cur != nil {
+		b.edge(b.cur, b.cfg.Exit)
+	}
+	// Deferred calls run on every path out of the function, LIFO.
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		b.cfg.Exit.Nodes = append(b.cfg.Exit.Nodes, b.defers[i])
+	}
+	b.cfg.Exit.Index = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, b.cfg.Exit)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a node to the current block, opening one if the previous
+// statement terminated (unreachable code still gets blocks so its findings
+// are not silently lost, they just carry no incoming state).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt, label string) {
+	_ = label // labels attach via LabeledStmt, not list position
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// jump terminates the current block with an edge to target.
+func (b *cfgBuilder) jump(target *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, target)
+	}
+	b.cur = nil
+}
+
+// frameFor resolves a break/continue target; an empty label means the
+// innermost applicable frame.
+func (b *cfgBuilder) frameFor(label string, needContinue bool) *ctrlFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needContinue && f.continueTo == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List, "")
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt, s.Label.Name)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		b.switchStmt(s, label)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, label)
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.DeferStmt:
+		b.defers = append(b.defers, s.Call)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.jump(b.cfg.Exit)
+		}
+	case *ast.GoStmt:
+		// The spawned body runs concurrently; eachFuncBody analyzes its
+		// FuncLit separately. Only argument evaluation happens here.
+		b.add(s)
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// AssignStmt, DeclStmt, IncDecStmt, SendStmt, ...
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if f := b.frameFor(label, false); f != nil {
+			b.jump(f.breakTo)
+			return
+		}
+	case token.CONTINUE:
+		if f := b.frameFor(label, true); f != nil {
+			b.jump(f.continueTo)
+			return
+		}
+	case token.FALLTHROUGH:
+		// Handled structurally in switchStmt (the builder links
+		// consecutive case bodies); reaching here means a lone
+		// fallthrough, which gofmt'd code cannot produce. Ignore.
+		return
+	}
+	// goto, or an unresolvable label: conservatively leave the function.
+	b.jump(b.cfg.Exit)
+}
+
+// cond wires the evaluation of a branch condition so that short-circuit
+// operands get their own blocks and edges: on entry the condition evaluates
+// in the current block; control continues to t when it yields true and to f
+// when it yields false.
+func (b *cfgBuilder) cond(e ast.Expr, t, f *Block) {
+	switch x := unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			mid := b.newBlock()
+			b.cond(x.X, mid, f)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock()
+			b.cond(x.X, t, mid)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, f, t)
+			return
+		}
+	}
+	b.add(e)
+	cur := b.cur
+	b.edge(cur, t)
+	if f != t {
+		b.edge(cur, f)
+	}
+	b.cur = nil
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init, "")
+	}
+	thenB := b.newBlock()
+	join := b.newBlock()
+	elseB := join
+	if s.Else != nil {
+		elseB = b.newBlock()
+	}
+	b.cond(s.Cond, thenB, elseB)
+	b.cur = thenB
+	b.stmtList(s.Body.List, "")
+	b.jump(join)
+	if s.Else != nil {
+		b.cur = elseB
+		b.stmt(s.Else, "")
+		b.jump(join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init, "")
+	}
+	head := b.newBlock()
+	body := b.newBlock()
+	exit := b.newBlock()
+	post := head
+	if s.Post != nil {
+		post = b.newBlock()
+	}
+	b.jump(head)
+	b.cur = head
+	if s.Cond != nil {
+		b.cond(s.Cond, body, exit)
+	} else {
+		b.edge(head, body)
+		b.cur = nil
+	}
+	b.frames = append(b.frames, ctrlFrame{label: label, breakTo: exit, continueTo: post})
+	b.cur = body
+	b.stmtList(s.Body.List, "")
+	b.jump(post)
+	if s.Post != nil {
+		b.cur = post
+		b.stmt(s.Post, "")
+		b.jump(head)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = exit
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	body := b.newBlock()
+	exit := b.newBlock()
+	b.jump(head)
+	// The RangeStmt node itself sits in the head block so transfer
+	// functions observe the ranged expression and the per-iteration
+	// Key/Value rebinding; walkExprs keeps them out of the Body.
+	head.Nodes = append(head.Nodes, s)
+	b.edge(head, body)
+	b.edge(head, exit)
+	b.frames = append(b.frames, ctrlFrame{label: label, breakTo: exit, continueTo: head})
+	b.cur = body
+	b.stmtList(s.Body.List, "")
+	b.jump(head)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = exit
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init, "")
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	b.caseClauses(s.Body.List, label, func(cc *ast.CaseClause, blk *Block) {
+		for _, e := range cc.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+	})
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init, "")
+	}
+	// The Assign stmt (`v := x.(type)` or bare `x.(type)`) evaluates once.
+	b.add(s.Assign)
+	b.caseClauses(s.Body.List, label, func(cc *ast.CaseClause, blk *Block) {})
+}
+
+// caseClauses builds the shared branch structure of value and type
+// switches: every clause is a successor of the dispatch block, fallthrough
+// chains consecutive bodies, and a missing default adds a skip edge.
+func (b *cfgBuilder) caseClauses(list []ast.Stmt, label string, addGuards func(*ast.CaseClause, *Block)) {
+	dispatch := b.cur
+	if dispatch == nil {
+		dispatch = b.newBlock()
+		b.cur = dispatch
+	}
+	join := b.newBlock()
+	b.frames = append(b.frames, ctrlFrame{label: label, breakTo: join})
+	hasDefault := false
+	blocks := make([]*Block, len(list))
+	for i, cs := range list {
+		blocks[i] = b.newBlock()
+		b.edge(dispatch, blocks[i])
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			if cc.List == nil {
+				hasDefault = true
+			}
+			addGuards(cc, blocks[i])
+		}
+	}
+	for i, cs := range list {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b.cur = blocks[i]
+		fallsThrough := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				continue
+			}
+			b.stmt(st, "")
+		}
+		if fallsThrough && i+1 < len(blocks) {
+			b.jump(blocks[i+1])
+		} else {
+			b.jump(join)
+		}
+	}
+	if !hasDefault {
+		b.edge(dispatch, join)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	dispatch := b.cur
+	if dispatch == nil {
+		dispatch = b.newBlock()
+	}
+	join := b.newBlock()
+	b.frames = append(b.frames, ctrlFrame{label: label, breakTo: join})
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		b.edge(dispatch, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm, "")
+		}
+		b.stmtList(cc.Body, "")
+		b.jump(join)
+	}
+	if len(s.Body.List) == 0 {
+		b.edge(dispatch, join)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+// isPanicCall reports whether e is a call to the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// walkExprs visits the expression fragments of one CFG node in evaluation
+// order, without descending into nested function literals (their bodies run
+// at another time and are analyzed as separate CFGs) and without descending
+// into the body of a RangeStmt head node (its statements live in the loop's
+// own blocks).
+func walkExprs(n ast.Node, fn func(ast.Node) bool) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		walkExprs(rs.X, fn)
+		if rs.Key != nil {
+			walkExprs(rs.Key, fn)
+		}
+		if rs.Value != nil {
+			walkExprs(rs.Value, fn)
+		}
+		return
+	}
+	inspectShallow(n, fn)
+}

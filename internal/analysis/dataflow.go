@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Generic fixed-point dataflow over a CFG.
+//
+// A flowProblem describes one monotone framework instance: how states start,
+// how one block transforms a state, and how states merge at join points. The
+// solver iterates a worklist in (reverse) postorder until no block's input
+// changes, then hands back the fixed-point input state of every block; an
+// analyzer replays its transfer function once more over that to emit
+// findings deterministically.
+//
+// States must form a finite-height join-semilattice under join (the
+// analyzers here use small per-variable bitmask facts, whose join is
+// bitwise-or), or iteration would not terminate.
+
+// flowProblem configures one dataflow run over a CFG.
+type flowProblem[S any] struct {
+	// backward solves against the flow of control: transfer consumes the
+	// state after a block and produces the state before it, and boundary
+	// seeds Exit instead of Entry.
+	backward bool
+	// boundary is the state at the flow's start block.
+	boundary func() S
+	// transfer folds one whole block. It must not mutate its argument's
+	// shared structure unless clone copies it first.
+	transfer func(S, *Block) S
+	// join merges two incoming states. The solver only calls it with
+	// states of reachable predecessors.
+	join func(S, S) S
+	// equal detects the fixed point.
+	equal func(S, S) bool
+	// clone protects the stored per-block states from transfer mutation.
+	clone func(S) S
+}
+
+// solveFlow runs the fixed-point iteration and returns the input state of
+// every reached block (the state before the block in forward mode, after it
+// in backward mode). Blocks the flow never reaches are absent.
+func solveFlow[S any](g *CFG, p flowProblem[S]) map[*Block]S {
+	in := make(map[*Block]S)
+	start := g.Entry
+	next := func(b *Block) []*Block { return b.Succs }
+	prev := func(b *Block) []*Block { return b.Preds }
+	if p.backward {
+		start = g.Exit
+		next, prev = prev, next
+	}
+
+	_ = prev
+	in[start] = p.boundary()
+	// Worklist seeded in construction order, which approximates reverse
+	// postorder for the builder's block numbering (forward edges mostly go
+	// to higher indices), so most problems converge in two passes.
+	work := make([]*Block, 0, len(g.Blocks))
+	inWork := make([]bool, len(g.Blocks))
+	push := func(b *Block) {
+		if !inWork[b.Index] {
+			inWork[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	push(start)
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+
+		state, ok := in[b]
+		if !ok {
+			continue
+		}
+		out := p.transfer(p.clone(state), b)
+		for _, s := range next(b) {
+			cur, seen := in[s]
+			var merged S
+			if seen {
+				merged = p.join(p.clone(cur), out)
+			} else {
+				merged = p.clone(out)
+			}
+			if !seen || !p.equal(cur, merged) {
+				in[s] = merged
+				push(s)
+			}
+		}
+	}
+	return in
+}
+
+// factEnv is the abstract store shared by the fact-tracking analyzers: one
+// small monotone bitmask of facts per local variable. Join is key-union
+// with bitwise-or, so the lattice height is bounded by (locals x fact
+// bits) and termination is structural.
+type factEnv map[types.Object]uint64
+
+// maxFactSites caps how many origin sites a single function tracks; the cap
+// keeps every site a distinct bit in a factEnv value. Functions beyond the
+// cap lose tracking for the excess sites, never gaining false reports.
+const maxFactSites = 32
+
+func cloneFactEnv(e factEnv) factEnv {
+	out := make(factEnv, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+func joinFactEnv(a, b factEnv) factEnv {
+	for k, v := range b {
+		a[k] |= v
+	}
+	return a
+}
+
+func equalFactEnv(a, b factEnv) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// factFlow builds the flowProblem shared by the factEnv analyzers.
+func factFlow(transfer func(factEnv, *Block) factEnv) flowProblem[factEnv] {
+	return flowProblem[factEnv]{
+		boundary: func() factEnv { return factEnv{} },
+		transfer: transfer,
+		join:     joinFactEnv,
+		equal:    equalFactEnv,
+		clone:    cloneFactEnv,
+	}
+}
+
+// objOf resolves an expression to the variable object it names, or nil for
+// anything that is not a plain (possibly parenthesized) identifier.
+func objOf(info *types.Info, e ast.Expr) types.Object {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// lhsObjs returns the variable objects bound by an assignment's left-hand
+// sides (nil entries for blank, selector, index or other non-ident
+// targets).
+func lhsObjs(info *types.Info, lhs []ast.Expr) []types.Object {
+	out := make([]types.Object, len(lhs))
+	for i, l := range lhs {
+		out[i] = objOf(info, l)
+	}
+	return out
+}
+
+// eachReadIdent visits every identifier of node that is read as a variable
+// value, skipping the write targets given in skip and all selector members
+// (the x of a.x names a field or method, not a variable). It does not
+// descend into function literals.
+func eachReadIdent(info *types.Info, node ast.Node, skip map[*ast.Ident]bool, fn func(*ast.Ident, types.Object)) {
+	members := make(map[*ast.Ident]bool)
+	walkExprs(node, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SelectorExpr); ok {
+			members[s.Sel] = true
+		}
+		return true
+	})
+	walkExprs(node, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || members[id] || skip[id] {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			fn(id, obj)
+		}
+		return true
+	})
+}
+
+// assignTargets collects the identifier nodes that are written (not read)
+// by a CFG node: assignment LHS idents and range Key/Value idents.
+func assignTargets(n ast.Node) map[*ast.Ident]bool {
+	skip := make(map[*ast.Ident]bool)
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, l := range n.Lhs {
+			if id, ok := unparen(l).(*ast.Ident); ok {
+				skip[id] = true
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := n.Key.(*ast.Ident); ok {
+			skip[id] = true
+		}
+		if id, ok := n.Value.(*ast.Ident); ok {
+			skip[id] = true
+		}
+	}
+	return skip
+}
+
+// reporter dedupes findings emitted while replaying transfer functions over
+// the solved states (a block can be replayed at most once, but several
+// paths can blame the same origin position).
+type reporter struct {
+	p    *pass
+	seen map[reportKey]bool
+}
+
+type reportKey struct {
+	pos token.Pos
+	msg string
+}
+
+func newReporter(p *pass) *reporter {
+	return &reporter{p: p, seen: make(map[reportKey]bool)}
+}
+
+func (r *reporter) reportf(pos token.Pos, format string, args ...any) {
+	f := Finding{
+		Pos:      r.p.m.Fset.Position(pos),
+		Analyzer: r.p.name,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	key := reportKey{pos: pos, msg: f.Message}
+	if r.seen[key] {
+		return
+	}
+	r.seen[key] = true
+	r.p.findings = append(r.p.findings, f)
+}

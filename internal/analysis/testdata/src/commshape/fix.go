@@ -1,0 +1,83 @@
+// Package commshape is a fixture for the commshape analyzer. Expectation
+// comments are of the form: want `regexp` (one per expected finding on the
+// line).
+package commshape
+
+import "blocktri/internal/comm"
+
+const (
+	tagScan   = 1
+	tagBroken = 2
+	tagHalo   = 3
+	tagSelf   = 4
+	tagMirror = 5
+)
+
+// koggeStone is the butterfly schedule done right: Send(r+dist) pairs with
+// Recv(r-dist) under the same tag and structurally identical offset.
+func koggeStone(c *comm.Comm, enc []float64) {
+	r, p := c.Rank(), c.Size()
+	for dist := 1; dist < p; dist *= 2 {
+		if r+dist < p {
+			c.Send(r+dist, tagScan, enc) // ok: Recv(r-dist, tagScan) below
+		}
+		if r-dist >= 0 {
+			_ = c.Recv(r-dist, tagScan)
+		}
+	}
+}
+
+// mirror covers the Brent-Kung down-sweep direction: a Send toward lower
+// ranks pairs with a Recv from higher ranks.
+func mirror(c *comm.Comm, enc []float64, d int) {
+	r := c.Rank()
+	c.Send(r-d, tagMirror, enc) // ok: Recv(r+d, tagMirror) below
+	_ = c.Recv(r+d, tagMirror)
+}
+
+// broken sends up and receives from up: no rank runs the mirror line, so
+// both operations are unpaired.
+func broken(c *comm.Comm, enc []float64) {
+	r, p := c.Rank(), c.Size()
+	if r+1 < p {
+		c.Send(r+1, tagBroken, enc) // want `Send to rank r \+ 1 with tag tagBroken has no matching Recv from rank r - 1`
+	}
+	if r+1 < p {
+		_ = c.Recv(r+1, tagBroken) // want `Recv from rank r \+ 1 with tag tagBroken has no matching Send to rank r - 1`
+	}
+}
+
+// selfSend parks a message in the sender's own mailbox.
+func selfSend(c *comm.Comm, enc []float64) {
+	r := c.Rank()
+	c.Send(r, tagSelf, enc) // want `Send targets the sending rank itself`
+	_ = c.Recv(r, tagSelf)
+}
+
+// nonAffine destinations (halo-plan map ranges, modulo rings) make the
+// whole tag group non-affine; commshape must skip it, not guess.
+func nonAffine(c *comm.Comm, plan map[int][]float64) {
+	r := c.Rank()
+	for q, data := range plan {
+		c.Send(q, tagHalo, data) // ok: non-affine, conservatively skipped
+	}
+	_ = c.Recv((r*2)%3, tagHalo) // ok: same skipped group
+}
+
+// forwarded pairs a chain scan under a forwarded tag parameter.
+func forwarded(c *comm.Comm, tag int, enc []float64) {
+	r, p := c.Rank(), c.Size()
+	if r+1 < p {
+		c.Send(r+1, tag, enc) // ok: chain pairing under the tag parameter
+	}
+	if r-1 >= 0 {
+		_ = c.Recv(r-1, tag)
+	}
+}
+
+// exchange is symmetric by construction and is never flagged.
+func exchange(c *comm.Comm, data []float64) {
+	r, p := c.Rank(), c.Size()
+	partner := (r + p/2) % p
+	_ = c.Exchange(partner, tagScan, data) // ok: pairs with itself
+}

@@ -1,0 +1,108 @@
+// Package errdiscard is a fixture for the errdiscard analyzer. Expectation
+// comments are of the form: want `regexp` (one per expected finding on the
+// line).
+package errdiscard
+
+import (
+	"blocktri/internal/comm"
+	"blocktri/internal/harness"
+	"blocktri/internal/mat"
+)
+
+func body(c *comm.Comm) {}
+
+// discarded drops the World.Run result on the floor.
+func discarded(w *comm.World) {
+	w.Run(body) // want `the error returned by comm\.World\.Run is discarded`
+}
+
+// blank assigns the error to the blank identifier.
+func blank(w *comm.World) {
+	_ = w.Run(body) // want `the error returned by comm\.World\.Run is assigned to _ and dropped`
+}
+
+// checkedThen reads the error in the condition; the then branch handles it.
+func checkedThen(w *comm.World) error {
+	err := w.Run(body) // ok: checked below
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkedElse reads the error in the condition; the else branch handles it.
+func checkedElse(w *comm.World) error {
+	err := w.Run(body) // ok: the condition read checks it on both branches
+	if err == nil {
+		return nil
+	} else {
+		return err
+	}
+}
+
+// checkedOnePath only looks at the error when flag is set; the other path
+// reaches the function exit with the error still pending.
+func checkedOnePath(w *comm.World, flag bool) {
+	err := w.Run(body) // want `the error returned by comm\.World\.Run is assigned but never checked`
+	if flag {
+		if err != nil {
+			println("run failed")
+		}
+	}
+}
+
+// overwritten rebinds err while the first error is still unchecked.
+func overwritten(w *comm.World) error {
+	err := w.Run(body) // want `the error returned by comm\.World\.Run is overwritten before being checked`
+	err = w.Run(body)
+	return err
+}
+
+// loopOverwrite loses every iteration's error except the last.
+func loopOverwrite(w *comm.World, n int) error {
+	var err error
+	for i := 0; i < n; i++ {
+		err = w.Run(body) // want `the error returned by comm\.World\.Run is overwritten before being checked`
+	}
+	return err
+}
+
+// loopChecked is the loop done right: checked before the next iteration.
+func loopChecked(w *comm.World, n int) error {
+	for i := 0; i < n; i++ {
+		if err := w.Run(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decoderChecked threads the Try-decoder error properly.
+func decoderChecked(payload []float64) *mat.Matrix {
+	m, err := comm.TryDecodeMatrix(payload)
+	if err != nil {
+		return nil
+	}
+	return m
+}
+
+// decoderBlank silently drops a malformed-payload report.
+func decoderBlank(payload []float64) *mat.Matrix {
+	m, _ := comm.TryDecodeMatrix(payload) // want `the error returned by comm\.TryDecodeMatrix is assigned to _ and dropped`
+	return m
+}
+
+// experimentDiscard ignores the outcome of a whole experiment run.
+func experimentDiscard(e harness.Experiment) {
+	e.Run(true) // want `the error returned by harness\.Experiment\.Run is discarded`
+}
+
+// experimentChecked is the harness idiom.
+func experimentChecked(e harness.Experiment) error {
+	tables, err := e.Run(true)
+	if err != nil {
+		return err
+	}
+	_ = tables
+	return nil
+}

@@ -1,0 +1,89 @@
+// Package poolrelease is a fixture for the poolrelease analyzer. Expectation
+// comments are of the form: want `regexp` (one per expected finding on the
+// line).
+package poolrelease
+
+import "blocktri/internal/comm"
+
+// leak binds a pooled payload and never returns it to the pool.
+func leak(c *comm.Comm) float64 {
+	buf := c.Recv(0, 1) // want `pooled payload from comm\.Recv is never Released`
+	return buf[0]
+}
+
+// released is the documented hot-path idiom.
+func released(c *comm.Comm) float64 {
+	buf := c.Recv(0, 1)
+	v := buf[0]
+	c.Release(buf)
+	return v
+}
+
+// deferred releases through defer, which runs on every exit path.
+func deferred(c *comm.Comm) float64 {
+	buf := c.Recv(0, 1)
+	defer c.Release(buf)
+	return buf[0]
+}
+
+// partial releases on one branch only.
+func partial(c *comm.Comm, flag bool) float64 {
+	buf := c.Recv(0, 1) // want `pooled payload from comm\.Recv is Released on some paths but not all`
+	v := buf[0]
+	if flag {
+		c.Release(buf)
+	}
+	return v
+}
+
+// double poisons the pool with the same buffer twice.
+func double(c *comm.Comm) float64 {
+	buf := c.Recv(0, 1)
+	v := buf[0]
+	c.Release(buf)
+	c.Release(buf) // want `pooled payload "buf" may already have been Released`
+	return v
+}
+
+// loopReleased recycles the buffer every iteration.
+func loopReleased(c *comm.Comm, n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		buf := c.Recv(0, 2)
+		sum += buf[0]
+		c.Release(buf)
+	}
+	return sum
+}
+
+// loopLeak drops one buffer per iteration.
+func loopLeak(c *comm.Comm, n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		buf := c.Recv(0, 3) // want `pooled payload from comm\.Recv is never Released`
+		sum += buf[0]
+	}
+	return sum
+}
+
+// exchangeLeak: Exchange returns Recv's pooled buffer too.
+func exchangeLeak(c *comm.Comm, data []float64) float64 {
+	got := c.Exchange(1, 6, data) // want `pooled payload from comm\.Exchange is never Released`
+	return got[0]
+}
+
+// handoff transfers ownership to the caller; the obligation leaves with it.
+func handoff(c *comm.Comm) []float64 {
+	buf := c.Recv(0, 4)
+	return buf // ok: the caller owns the buffer now
+}
+
+// consumed passes the whole slice to a callee, which takes over ownership.
+func consumed(c *comm.Comm) {
+	buf := c.Recv(0, 5)
+	process(c, buf) // ok: whole-slice hand-off transfers the obligation
+}
+
+func process(c *comm.Comm, buf []float64) {
+	c.Release(buf)
+}

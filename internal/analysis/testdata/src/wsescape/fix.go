@@ -1,0 +1,105 @@
+// Package wsescape is a fixture for the wsescape analyzer. Expectation
+// comments are of the form: want `regexp` (one per expected finding on the
+// line).
+package wsescape
+
+import "blocktri/internal/mat"
+
+var global *mat.Matrix
+
+// useAfterReset reads a checkout after the arena recycled its storage.
+func useAfterReset(ws *mat.Workspace, b *mat.Matrix) {
+	tmp := ws.Get(b.Rows, b.Cols)
+	tmp.CopyFrom(b)
+	ws.Reset()
+	b.CopyFrom(tmp) // want `workspace checkout "tmp" \(from ws\.Get\) is used after ws\.Reset recycled the arena`
+}
+
+// resetOnePath goes stale on the flag path only; the join still taints it.
+func resetOnePath(ws *mat.Workspace, b *mat.Matrix, flag bool) {
+	tmp := ws.GetNoClear(b.Rows, b.Cols)
+	if flag {
+		ws.Reset()
+	}
+	b.CopyFrom(tmp) // want `workspace checkout "tmp" \(from ws\.GetNoClear\) is used after ws\.Reset recycled the arena`
+}
+
+// loopReset reads a first-iteration checkout after the Reset at the bottom
+// of the previous iteration.
+func loopReset(ws *mat.Workspace, b *mat.Matrix, n int) {
+	tmp := ws.Get(b.Rows, b.Cols)
+	for i := 0; i < n; i++ {
+		tmp.CopyFrom(b) // want `workspace checkout "tmp" \(from ws\.Get\) is used after ws\.Reset recycled the arena`
+		ws.Reset()
+	}
+}
+
+// resetThenCheckout is the canonical solver prologue: Reset first, check out
+// after. Nothing goes stale.
+func resetThenCheckout(ws *mat.Workspace, b *mat.Matrix) {
+	ws.Reset()
+	tmp := ws.GetNoClear(b.Rows, b.Cols)
+	tmp.CopyFrom(b)
+	b.CopyFrom(tmp)
+}
+
+// aliasStale follows whole-value aliases: v2 dies with v1.
+func aliasStale(ws *mat.Workspace, b *mat.Matrix) {
+	v1 := ws.CloneOf(b)
+	v2 := v1
+	ws.Reset()
+	b.CopyFrom(v2) // want `workspace checkout "v2" \(from ws\.CloneOf\) is used after ws\.Reset recycled the arena`
+}
+
+// escapeReturn leaks a checkout out of the function that owns the arena.
+func escapeReturn(b *mat.Matrix) *mat.Matrix {
+	ws := mat.NewWorkspace()
+	tmp := ws.Get(b.Rows, b.Cols)
+	tmp.CopyFrom(b)
+	return tmp // want `workspace checkout escapes via return from the function that owns the arena`
+}
+
+// okReturnParam may return checkouts: the caller owns the arena lifetime
+// (the wsBlockOf idiom).
+func okReturnParam(ws *mat.Workspace, b *mat.Matrix) *mat.Matrix {
+	tmp := ws.Get(b.Rows, b.Cols)
+	tmp.CopyFrom(b)
+	return tmp // ok: ws is a parameter
+}
+
+// okReturnDirect returns a view of a parameter-owned arena directly.
+func okReturnDirect(ws *mat.Workspace, b *mat.Matrix) *mat.Matrix {
+	return ws.View(b, 0, 0, b.Rows, b.Cols) // ok: ws is a parameter
+}
+
+// escapeGlobal parks arena storage in a package-level variable.
+func escapeGlobal(b *mat.Matrix) {
+	ws := mat.NewWorkspace()
+	global = ws.CloneOf(b) // want `workspace checkout is stored into a location that outlives the arena`
+}
+
+type holder struct{ m *mat.Matrix }
+
+// escapePointer stores a checkout through a pointer the caller keeps.
+func escapePointer(h *holder, b *mat.Matrix) {
+	ws := mat.NewWorkspace()
+	h.m = ws.CloneOf(b) // want `workspace checkout is stored into a location that outlives the arena`
+}
+
+// okLocalStruct stores into a frame-local value, which dies with the arena.
+func okLocalStruct(b *mat.Matrix) int {
+	ws := mat.NewWorkspace()
+	var o holder
+	o.m = ws.CloneOf(b) // ok: o does not outlive the function
+	return o.m.Rows
+}
+
+// luEscape covers the two-result LU checkout.
+func luEscape(a *mat.Matrix) *mat.LU {
+	ws := mat.NewWorkspace()
+	lu, err := ws.LU(a)
+	if err != nil {
+		return nil
+	}
+	return lu // want `workspace checkout escapes via return from the function that owns the arena`
+}

@@ -322,6 +322,10 @@ func (s *PCR) factorRank(c *comm.Comm, es *errSlot) int64 {
 				halo[j] = decodeRow(payload[pos+2 : pos+2+plen])
 				pos += 2 + plen
 			}
+			// decodeRow copies (DecodeMatrices -> NewFromSlice), so the
+			// pooled buffer can recycle immediately — the solve-path halo
+			// exchange below already did; this one leaked.
+			c.Release(payload)
 		}
 		rowAt := func(j int) (pcrRow, bool) {
 			if j < lo || j >= hi {

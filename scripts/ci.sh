@@ -6,6 +6,10 @@ set -eux
 go build ./...
 go vet ./...
 go run ./cmd/blocktri-lint ./...
+# Archive the same lint run as SARIF so CI can upload it to code-scanning
+# dashboards; the run above already gated on findings, this one records them.
+mkdir -p reports
+go run ./cmd/blocktri-lint -format sarif ./... > reports/lint.sarif
 go test ./...
 go test -race ./...
 # Chaos smoke: a fixed-seed fault-injection campaign over every solver.
