@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-sarif test race bench bench-baseline bench-compare verify chaos chaos-soak experiments experiments-quick ci clean
+.PHONY: all build vet lint lint-sarif lint-stats test race bench bench-baseline bench-compare verify chaos chaos-soak experiments experiments-quick ci clean
 
 all: build vet lint test
 
@@ -19,6 +19,10 @@ lint:
 lint-sarif:
 	mkdir -p reports
 	$(GO) run ./cmd/blocktri-lint -format sarif ./... > reports/lint.sarif
+
+# Lint with the interprocedural summary-cache counters printed to stderr.
+lint-stats:
+	$(GO) run ./cmd/blocktri-lint -stats ./...
 
 test:
 	$(GO) test ./...

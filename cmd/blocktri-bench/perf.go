@@ -1,6 +1,7 @@
-// Perf-regression harness: a fixed set of micro-benchmarks over the two
-// hot paths this repo optimizes — the allocation-free ARD solve and the
-// GEMM kernel — with committed JSON baselines and a compare mode for CI.
+// Perf-regression harness: a fixed set of micro-benchmarks over the paths
+// this repo optimizes — the allocation-free ARD solve, the GEMM kernel,
+// and a cold whole-repo blocktri-lint run — with committed JSON baselines
+// and a compare mode for CI.
 //
 //	blocktri-bench -perf baseline   # (re)write BENCH_*.json in -perf-dir
 //	blocktri-bench -perf compare    # re-measure, fail on >15% regression
@@ -8,7 +9,9 @@
 // Each measurement is the best of three testing.Benchmark runs (the min
 // damps scheduler and turbo noise, which is ±8% on the reference machine;
 // the 15% gate then only trips on real regressions). Allocation counts are
-// exact and gate at zero tolerance: the arenas either work or they don't.
+// exact and gate at zero tolerance on the solver suites: the arenas either
+// work or they don't. The lint suite gates time only — a whole-module
+// type-check allocates by design.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"testing"
 
 	"blocktri"
+	"blocktri/internal/analysis"
 	"blocktri/internal/mat"
 	"blocktri/internal/workload"
 )
@@ -127,14 +131,67 @@ func measureGEMM() ([]perfEntry, error) {
 	return entries, nil
 }
 
-// perfSuites lists the measured suites and their baseline files.
+// measureLint benchmarks a cold whole-repo lint run — module load,
+// type-check, suppression collection, and every analyzer — with the
+// interprocedural summary layer on (the shipped default) and off (the
+// spread is the layer's measured cost). One iteration is around a second,
+// so each bestOf3 round runs the suite once.
+func measureLint() ([]perfEntry, error) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		return nil, fmt.Errorf("lint: %v", err)
+	}
+	var entries []perfEntry
+	for _, cfg := range []struct {
+		name     string
+		noInterp bool
+	}{
+		{"Lint/interprocedural", false},
+		{"Lint/intraprocedural", true},
+	} {
+		cfg := cfg
+		var failed error
+		res := bestOf3(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := analysis.LoadModule(root)
+				if err != nil {
+					failed = err
+					b.FailNow()
+				}
+				m.NoInterp = cfg.noInterp
+				sup := analysis.CollectSuppressions(m)
+				for _, a := range analysis.Analyzers() {
+					if kept := analysis.FilterSuppressed(a.Run(m), sup); len(kept) > 0 {
+						failed = fmt.Errorf("repo not lint-clean: %s", kept[0])
+						b.FailNow()
+					}
+				}
+			}
+		})
+		if failed != nil {
+			return nil, fmt.Errorf("lint %s: %v", cfg.name, failed)
+		}
+		entries = append(entries, perfEntry{
+			Name:        cfg.name,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+		})
+	}
+	return entries, nil
+}
+
+// perfSuites lists the measured suites and their baseline files. gateAllocs
+// applies the zero-tolerance allocs/op gate; the solver suites use it to
+// pin the arena discipline, while the lint suite is time-gated only.
 var perfSuites = []struct {
-	suite   string
-	file    string
-	measure func() ([]perfEntry, error)
+	suite      string
+	file       string
+	measure    func() ([]perfEntry, error)
+	gateAllocs bool
 }{
-	{"ard_solve", "BENCH_ard_solve.json", measureARDSolve},
-	{"gemm", "BENCH_gemm.json", measureGEMM},
+	{"ard_solve", "BENCH_ard_solve.json", measureARDSolve, true},
+	{"gemm", "BENCH_gemm.json", measureGEMM, true},
+	{"lint", "BENCH_lint.json", measureLint, false},
 }
 
 // runPerf executes the harness in the given mode ("baseline" or "compare")
@@ -185,7 +242,7 @@ func runPerf(mode, dir string) int {
 			fmt.Fprintf(os.Stderr, "blocktri-bench: perf %s: %v (run -perf baseline first)\n", s.suite, err)
 			return 1
 		}
-		if !comparePerf(base, entries) {
+		if !comparePerf(base, entries, s.gateAllocs) {
 			// One retry before declaring a regression: a loaded CI machine
 			// can push a ~1ms benchmark past the gate on scheduling noise
 			// alone, and a real regression fails both rounds.
@@ -195,7 +252,7 @@ func runPerf(mode, dir string) int {
 				fmt.Fprintf(os.Stderr, "blocktri-bench: perf %s: %v\n", s.suite, err)
 				return 1
 			}
-			if !comparePerf(base, entries) {
+			if !comparePerf(base, entries, s.gateAllocs) {
 				failed = true
 			}
 		}
@@ -230,9 +287,10 @@ func loadPerfSuite(path, suite string) (perfSuite, error) {
 }
 
 // comparePerf gates current entries against the baseline: ns/op may not
-// regress by more than perfRegressionTol, and allocs/op may not increase at
-// all. Entries missing from the baseline are reported informationally.
-func comparePerf(base perfSuite, cur []perfEntry) bool {
+// regress by more than perfRegressionTol, and — when gateAllocs is set —
+// allocs/op may not increase at all. Entries missing from the baseline are
+// reported informationally.
+func comparePerf(base perfSuite, cur []perfEntry, gateAllocs bool) bool {
 	byName := make(map[string]perfEntry, len(base.Entries))
 	for _, e := range base.Entries {
 		byName[e.Name] = e
@@ -250,7 +308,7 @@ func comparePerf(base perfSuite, cur []perfEntry) bool {
 			status = fmt.Sprintf("REGRESSION (+%.0f%% > %.0f%%)", 100*(ratio-1), 100*perfRegressionTol)
 			ok = false
 		}
-		if e.AllocsPerOp > b.AllocsPerOp {
+		if gateAllocs && e.AllocsPerOp > b.AllocsPerOp {
 			status = fmt.Sprintf("ALLOC REGRESSION (%d > %d)", e.AllocsPerOp, b.AllocsPerOp)
 			ok = false
 		}

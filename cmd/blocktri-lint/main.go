@@ -1,11 +1,15 @@
 // Command blocktri-lint runs the module's domain static-analysis suite
 // (internal/analysis). The syntactic analyzers — matalias, commlock,
-// commtag, floateq, panicpolicy, hotalloc — are joined by four
-// flow-sensitive ones built on the intraprocedural dataflow engine:
-// wsescape (arena-lifetime), poolrelease (pooled-buffer leaks), errdiscard
-// (dropped error results) and commshape (SPMD send/recv pairing). It loads
-// and type-checks the whole module from source using only the standard
-// library, reports findings as
+// commtag, floateq, panicpolicy, hotalloc — are joined by flow-sensitive
+// ones built on the dataflow engine: wsescape (arena-lifetime), poolrelease
+// (pooled-buffer leaks), errdiscard (dropped error results), commshape
+// (SPMD send/recv pairing) and blockshape (symbolic block-dimension
+// conformance of mat call sites). The flow-sensitive analyzers consult
+// interprocedural function summaries computed bottom-up over a per-package
+// call graph; -interprocedural=false turns the layer off. Lint:ignore
+// directives are themselves audited (the "suppress" pseudo-analyzer) when
+// the full suite runs. The tool loads and type-checks the whole module from
+// source using only the standard library, reports findings as
 //
 //	file:line: [analyzer] message
 //
@@ -18,6 +22,8 @@
 //	blocktri-lint ./...             # lint the whole module (the default)
 //	blocktri-lint -floateq=false ./...
 //	blocktri-lint -only commshape ./...
+//	blocktri-lint -interprocedural=false ./...
+//	blocktri-lint -format json -stats ./...
 //	blocktri-lint -format sarif ./... > lint.sarif
 //	blocktri-lint -list
 package main
@@ -29,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"blocktri/internal/analysis"
 )
@@ -50,14 +57,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list analyzers and exit")
 	format := fs.String("format", "text", "output format: text, json or sarif")
 	verbose := fs.Bool("v", false, "also report how many findings were suppressed")
+	interp := fs.Bool("interprocedural", true, "consult function summaries (call graph + interprocedural facts); -interprocedural=false reverts every analyzer to its intraprocedural behavior")
+	stats := fs.Bool("stats", false, "print per-analyzer timing and summary-cache statistics to stderr after the run")
+	checkSup := fs.Bool("suppress", true, "audit lint:ignore directives for typos and staleness (full-suite runs only)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s [%s] %s\n", a.Name, a.Severity, a.Doc)
 		}
+		fmt.Fprintf(stdout, "%-12s [%s] %s\n", analysis.SuppressName, analysis.SeverityWarning,
+			"audit lint:ignore directives for typos and staleness")
 		return 0
 	}
 
@@ -108,26 +120,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "blocktri-lint: %v\n", err)
 		return 2
 	}
+	m.NoInterp = !*interp
 	sup := analysis.CollectSuppressions(m)
 
 	var findings []analysis.Finding
 	var ran []*analysis.Analyzer
-	suppressed := 0
+	var timings []time.Duration
+	known := make(map[string]bool, len(analyzers))
+	suppressed, allRan := 0, true
 	for _, a := range analyzers {
 		if !*enabled[a.Name] {
+			allRan = false
 			continue
 		}
 		ran = append(ran, a)
+		known[a.Name] = true
+		start := time.Now()
 		all := a.Run(m)
+		timings = append(timings, time.Since(start))
 		kept := analysis.FilterSuppressed(all, sup)
 		suppressed += len(all) - len(kept)
 		findings = append(findings, kept...)
+	}
+	// The directive audit is only sound when every analyzer ran: a directive
+	// for a disabled analyzer is not stale, just untested this run.
+	if *checkSup && allRan {
+		findings = append(findings, sup.Unused(known)...)
 	}
 	analysis.SortFindings(findings)
 
 	switch *format {
 	case "json":
-		if err := analysis.WriteJSON(stdout, findings, cwd); err != nil {
+		report := analysis.JSONInterp{Enabled: !m.NoInterp, Summaries: m.SummaryStats()}
+		if err := analysis.WriteJSON(stdout, findings, cwd, report); err != nil {
 			fmt.Fprintf(stderr, "blocktri-lint: %v\n", err)
 			return 2
 		}
@@ -147,6 +172,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *verbose && suppressed > 0 {
 		fmt.Fprintf(stderr, "blocktri-lint: %d finding(s) suppressed by lint:ignore directives\n", suppressed)
+	}
+	if *stats {
+		for i, a := range ran {
+			fmt.Fprintf(stderr, "blocktri-lint: %-12s %10.1fms\n", a.Name, float64(timings[i].Microseconds())/1000)
+		}
+		s := m.SummaryStats()
+		hitRate := 0.0
+		if s.Requests > 0 {
+			hitRate = 100 * float64(s.CacheHits) / float64(s.Requests)
+		}
+		fmt.Fprintf(stderr, "blocktri-lint: summaries: %d function(s), %d call edge(s), %d SCC(s) (largest %d), %d fixpoint iteration(s); %d package(s) computed, %d request(s), %d cache hit(s) (%.1f%% hit rate)\n",
+			s.Functions, s.CallEdges, s.SCCs, s.LargestSCC, s.FixpointIterations,
+			s.PackagesComputed, s.Requests, s.CacheHits, hitRate)
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "blocktri-lint: %d finding(s)\n", len(findings))

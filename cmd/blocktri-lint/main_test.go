@@ -9,10 +9,15 @@ import (
 )
 
 // lintTimeBudget bounds one cold whole-repo run (load + type-check + all
-// ten analyzers). The dataflow analyzers solve a fixed-point per function
-// body; if someone makes the transfer functions superlinear, this is the
-// tripwire.
-const lintTimeBudget = 5 * time.Second
+// analyzers with interprocedural summaries on). The dataflow analyzers solve
+// a fixed-point per function body and the summary layer one per package; if
+// someone makes the transfer functions superlinear, this is the tripwire.
+const lintTimeBudget = 6 * time.Second
+
+// intraTimeBudget bounds the same run with -interprocedural=false. The
+// summary layer must stay pay-for-what-you-use: turning it off cannot be
+// slower than the full run.
+const intraTimeBudget = lintTimeBudget
 
 // TestRepoIsLintClean is the driver-level regression gate: a full run of
 // every analyzer over the real module source must produce zero unsuppressed
@@ -35,32 +40,118 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 }
 
+// TestIntraproceduralRunStaysClean pins the off-switch: with
+// -interprocedural=false every analyzer falls back to its intraprocedural
+// self, and the repo must still lint clean within the same budget (the
+// summary-closed false negatives live only in fixtures, and commshape's
+// helper-paired sends are all intra-function in shipped code).
+func TestIntraproceduralRunStaysClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	start := time.Now()
+	code := run([]string{"-interprocedural=false", "./..."}, &stdout, &stderr)
+	elapsed := time.Since(start)
+	if code != 0 {
+		t.Fatalf("blocktri-lint -interprocedural=false exited %d\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if !raceEnabled && elapsed > intraTimeBudget {
+		t.Fatalf("intraprocedural lint took %v, budget is %v", elapsed, intraTimeBudget)
+	}
+}
+
 // BenchmarkLintRepo measures a full cold run: module load, type-check and
-// all analyzers. Run with -benchtime=3x or similar; each iteration reloads
-// the module from disk.
+// all analyzers with summaries on. Run with -benchtime=3x or similar; each
+// iteration reloads the module from disk.
 func BenchmarkLintRepo(b *testing.B) {
+	benchmarkLint(b, []string{"./..."})
+}
+
+// BenchmarkLintRepoIntraprocedural is the same run with the summary layer
+// off: the spread between the two is the measured cost of the
+// interprocedural layer.
+func BenchmarkLintRepoIntraprocedural(b *testing.B) {
+	benchmarkLint(b, []string{"-interprocedural=false", "./..."})
+}
+
+func benchmarkLint(b *testing.B, args []string) {
 	for i := 0; i < b.N; i++ {
 		var stdout, stderr bytes.Buffer
-		if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		if code := run(args, &stdout, &stderr); code != 0 {
 			b.Fatalf("blocktri-lint exited %d\n%s\n%s", code, stdout.String(), stderr.String())
 		}
 	}
 }
 
-// TestJSONFormat checks that -format json emits a well-formed (possibly
-// empty) array over a clean tree.
+// TestJSONFormat checks that -format json emits the report object: an empty
+// findings array over a clean tree plus the interprocedural block with
+// plausible counters.
 func TestJSONFormat(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	code := run([]string{"-format", "json", "./..."}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
 	}
-	var findings []map[string]any
-	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
-		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout.String())
+	var report struct {
+		Findings        []map[string]any `json:"findings"`
+		Interprocedural struct {
+			Enabled   bool `json:"enabled"`
+			Summaries struct {
+				Functions        int `json:"functions"`
+				PackagesComputed int `json:"packages_computed"`
+				Requests         int `json:"summary_requests"`
+			} `json:"summaries"`
+		} `json:"interprocedural"`
 	}
-	if len(findings) != 0 {
-		t.Fatalf("expected empty findings array, got %d", len(findings))
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("output is not the JSON report object: %v\n%s", err, stdout.String())
+	}
+	if report.Findings == nil || len(report.Findings) != 0 {
+		t.Fatalf("expected empty findings array, got %v", report.Findings)
+	}
+	ip := report.Interprocedural
+	if !ip.Enabled {
+		t.Fatal("interprocedural.enabled = false on a default run")
+	}
+	if ip.Summaries.Functions == 0 || ip.Summaries.PackagesComputed == 0 || ip.Summaries.Requests == 0 {
+		t.Fatalf("summary counters did not move: %+v", ip.Summaries)
+	}
+}
+
+// TestJSONDeterministic is the byte-identical gate from the acceptance
+// criteria: two full -format json runs over the same tree must produce
+// exactly the same bytes, findings and cache counters included.
+func TestJSONDeterministic(t *testing.T) {
+	runOnce := func() []byte {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-format", "json", "./..."}, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
+		}
+		return stdout.Bytes()
+	}
+	a, b := runOnce(), runOnce()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two json runs differ:\nfirst:\n%s\nsecond:\n%s", a, b)
+	}
+}
+
+// TestJSONIntraproceduralFlag checks the off-switch is reflected in the
+// report metadata.
+func TestJSONIntraproceduralFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-interprocedural=false", "-format", "json", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
+	}
+	var report struct {
+		Interprocedural struct {
+			Enabled bool `json:"enabled"`
+		} `json:"interprocedural"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if report.Interprocedural.Enabled {
+		t.Fatal("interprocedural.enabled = true despite -interprocedural=false")
 	}
 }
 
@@ -79,7 +170,11 @@ func TestSARIFFormat(t *testing.T) {
 				Driver struct {
 					Name  string `json:"name"`
 					Rules []struct {
-						ID string `json:"id"`
+						ID      string `json:"id"`
+						HelpURI string `json:"helpUri"`
+						Default struct {
+							Level string `json:"level"`
+						} `json:"defaultConfiguration"`
 					} `json:"rules"`
 				} `json:"driver"`
 			} `json:"tool"`
@@ -96,13 +191,33 @@ func TestSARIFFormat(t *testing.T) {
 	if d.Name != "blocktri-lint" {
 		t.Fatalf("driver name %q", d.Name)
 	}
-	rules := make(map[string]bool, len(d.Rules))
+	rules := make(map[string]struct{ helpURI, level string }, len(d.Rules))
 	for _, r := range d.Rules {
-		rules[r.ID] = true
+		rules[r.ID] = struct{ helpURI, level string }{r.HelpURI, r.Default.Level}
 	}
-	for _, want := range []string{"wsescape", "poolrelease", "errdiscard", "commshape", "matalias", "commtag"} {
-		if !rules[want] {
+	for _, want := range []string{"wsescape", "poolrelease", "errdiscard", "commshape", "blockshape", "matalias", "commtag", "suppress"} {
+		if _, ok := rules[want]; !ok {
 			t.Errorf("SARIF rules missing %q (got %v)", want, d.Rules)
+		}
+	}
+	// Every rule must carry a docs anchor and a severity level.
+	for id, r := range rules {
+		wantURI := "docs/STATIC_ANALYSIS.md#" + id
+		if id == "suppress" {
+			wantURI = "docs/STATIC_ANALYSIS.md#suppression"
+		}
+		if r.helpURI != wantURI {
+			t.Errorf("rule %q helpUri = %q, want %q", id, r.helpURI, wantURI)
+		}
+		if r.level != "error" && r.level != "warning" {
+			t.Errorf("rule %q defaultConfiguration.level = %q", id, r.level)
+		}
+	}
+	// Spot-check the tiers: correctness analyzers are errors, style-tier
+	// checks warnings.
+	for id, want := range map[string]string{"wsescape": "error", "blockshape": "error", "floateq": "warning", "suppress": "warning"} {
+		if r := rules[id]; r.level != want {
+			t.Errorf("rule %q level = %q, want %q", id, r.level, want)
 		}
 	}
 	if len(log.Runs[0].Results) != 0 {

@@ -36,13 +36,23 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
 }
 
+// Severity levels for analyzers, mirroring SARIF's defaultConfiguration
+// levels. "error" marks checks whose findings are correctness bugs (aliasing
+// kernels, deadlocks, arena misuse); "warning" marks style- and
+// robustness-tier checks where a finding deserves a look but may be fine.
+const (
+	SeverityError   = "error"
+	SeverityWarning = "warning"
+)
+
 // Analyzer is one named check run over the whole loaded module. Run returns
 // raw findings; suppression filtering is the driver's job so that tests can
 // observe both sides.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(m *Module) []Finding
+	Name     string
+	Doc      string
+	Severity string // SeverityError or SeverityWarning
+	Run      func(m *Module) []Finding
 }
 
 // Analyzers returns the full analyzer suite in stable order.
@@ -58,6 +68,7 @@ func Analyzers() []*Analyzer {
 		poolReleaseAnalyzer,
 		errDiscardAnalyzer,
 		commShapeAnalyzer,
+		blockShapeAnalyzer,
 	}
 }
 

@@ -183,9 +183,11 @@ func TestParseIgnore(t *testing.T) {
 }
 
 func TestSuppressedLines(t *testing.T) {
-	s := &Suppressions{byFile: map[string]map[int]map[string]bool{
-		"a.go": {10: {"floateq": true}},
-	}}
+	d := &directive{pos: token.Position{Filename: "a.go", Line: 10}, name: "floateq"}
+	s := &Suppressions{
+		byFile: map[string]map[int]map[string]*directive{"a.go": {10: {"floateq": d}}},
+		all:    []*directive{d},
+	}
 	pos := func(line int) token.Position { return token.Position{Filename: "a.go", Line: line} }
 	if !s.Suppressed("floateq", pos(10)) {
 		t.Error("same-line directive should suppress")
@@ -201,6 +203,81 @@ func TestSuppressedLines(t *testing.T) {
 	}
 	if s.Suppressed("floateq", token.Position{Filename: "b.go", Line: 10}) {
 		t.Error("directive must only apply to its own file")
+	}
+	if !d.used {
+		t.Error("matching a finding must mark the directive used")
+	}
+}
+
+// TestUnusedDirectives covers the three audit outcomes: a directive that
+// matched a finding stays silent, a never-matched directive is stale, and a
+// directive naming a non-analyzer is a typo.
+func TestUnusedDirectives(t *testing.T) {
+	mk := func(line int, name string) *directive {
+		return &directive{pos: token.Position{Filename: "a.go", Line: line}, name: name}
+	}
+	used, stale, typo := mk(5, "floateq"), mk(9, "matalias"), mk(3, "floateqq")
+	s := &Suppressions{
+		byFile: map[string]map[int]map[string]*directive{"a.go": {
+			3: {"floateqq": typo},
+			5: {"floateq": used},
+			9: {"matalias": stale},
+		}},
+		all: []*directive{used, stale, typo},
+	}
+	if !s.Suppressed("floateq", token.Position{Filename: "a.go", Line: 6}) {
+		t.Fatal("directive on the line above should suppress")
+	}
+	known := map[string]bool{"floateq": true, "matalias": true}
+	got := s.Unused(known)
+	if len(got) != 2 {
+		t.Fatalf("Unused returned %d findings, want 2: %v", len(got), got)
+	}
+	// Sorted by file then line: the typo at line 3 precedes the stale
+	// directive at line 9.
+	if got[0].Pos.Line != 3 || !strings.Contains(got[0].Message, `unknown analyzer "floateqq"`) {
+		t.Errorf("first audit finding = %v, want unknown-analyzer at line 3", got[0])
+	}
+	if got[1].Pos.Line != 9 || !strings.Contains(got[1].Message, `matches no finding`) {
+		t.Errorf("second audit finding = %v, want stale directive at line 9", got[1])
+	}
+	for _, f := range got {
+		if f.Analyzer != SuppressName {
+			t.Errorf("audit finding attributed to %q, want %q", f.Analyzer, SuppressName)
+		}
+	}
+}
+
+// TestSuppressFixture runs the directive audit end to end over the suppress
+// fixture: a used directive stays silent, a stale one and a misspelled one
+// are reported, and the misspelled one fails to silence its finding.
+func TestSuppressFixture(t *testing.T) {
+	host := hostModule(t)
+	fix, err := host.LoadFixture(filepath.Join("testdata", "src", "suppress"), "fix/suppress")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	sup := CollectSuppressions(fix)
+	known := make(map[string]bool)
+	var surviving []Finding
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+		surviving = append(surviving, FilterSuppressed(a.Run(fix), sup)...)
+	}
+	// The typo directive silences nothing: the != comparison below it is
+	// still reported.
+	if len(surviving) != 1 || surviving[0].Analyzer != "floateq" {
+		t.Fatalf("surviving findings = %v, want exactly the unsuppressed floateq finding", surviving)
+	}
+	audit := sup.Unused(known)
+	if len(audit) != 2 {
+		t.Fatalf("audit findings = %v, want the stale and the misspelled directive", audit)
+	}
+	if !strings.Contains(audit[0].Message, `"floateq" matches no finding`) {
+		t.Errorf("first audit finding = %v, want the stale floateq directive", audit[0])
+	}
+	if !strings.Contains(audit[1].Message, `unknown analyzer "floateqq"`) {
+		t.Errorf("second audit finding = %v, want the floateqq typo", audit[1])
 	}
 }
 

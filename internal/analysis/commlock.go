@@ -22,9 +22,10 @@ import (
 // invariant must stay true under MPI rendezvous semantics, which the comm
 // package exists to model.
 var commLockAnalyzer = &Analyzer{
-	Name: "commlock",
-	Doc:  "flag blocking comm operations while a locally acquired mutex is held",
-	Run:  runCommLock,
+	Name:     "commlock",
+	Doc:      "flag blocking comm operations while a locally acquired mutex is held",
+	Severity: SeverityError,
+	Run:      runCommLock,
 }
 
 const commPkgPath = "blocktri/internal/comm"

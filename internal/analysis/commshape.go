@@ -30,9 +30,10 @@ import (
 // skipped. The comm package itself (collectives, retransmit machinery) is
 // excluded.
 var commShapeAnalyzer = &Analyzer{
-	Name: "commshape",
-	Doc:  "Send(r±e, tag) inside a rank body must have a matching Recv(r∓e, tag); self-sends are flagged",
-	Run:  runCommShape,
+	Name:     "commshape",
+	Doc:      "Send(r±e, tag) inside a rank body must have a matching Recv(r∓e, tag); self-sends are flagged",
+	Severity: SeverityError,
+	Run:      runCommShape,
 }
 
 type shapeDir int
@@ -71,7 +72,7 @@ func runCommShape(m *Module) []Finding {
 		}
 		for _, file := range pkg.Files {
 			eachFuncBody(file, func(body *ast.BlockStmt) {
-				commShapeFunc(rep, pkg.Info, body)
+				commShapeFunc(rep, m, pkg.Info, body)
 			})
 		}
 	}
@@ -101,7 +102,7 @@ func rankObjs(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
 	return set
 }
 
-func commShapeFunc(rep *reporter, info *types.Info, body *ast.BlockStmt) {
+func commShapeFunc(rep *reporter, m *Module, info *types.Info, body *ast.BlockStmt) {
 	ranks := rankObjs(info, body)
 	if len(ranks) == 0 {
 		return
@@ -137,6 +138,16 @@ func commShapeFunc(rep *reporter, info *types.Info, body *ast.BlockStmt) {
 			}
 			addSite(call, shapeSend, call.Args[0], call.Args[3])
 			addSite(call, shapeRecv, call.Args[2], call.Args[3])
+		case "":
+			// A summarized helper's point-to-point sites translate into this
+			// function's rank space and join the pairing groups: a Recv
+			// performed inside the helper satisfies a Send here (and vice
+			// versa) exactly as if it were inlined.
+			injected, poisoned := commShapeInject(m, info, ranks, call)
+			sites = append(sites, injected...)
+			if poisoned {
+				poisonedTags = true
+			}
 		}
 		return true
 	})
@@ -278,4 +289,74 @@ func renderRank(rank string, kind shapeKind, offset string) string {
 
 func needsParens(off string) bool {
 	return strings.ContainsAny(off, "+-*/ ")
+}
+
+// commShapeInject translates the summarized point-to-point sites of a helper
+// call into the caller's rank space. Returns the translated sites and
+// whether an untranslatable tag poisons the caller (same conservative rule
+// as a computed tag written inline). Opaque or comm-free helpers yield
+// nothing — the intraprocedural status quo.
+func commShapeInject(m *Module, info *types.Info, ranks map[types.Object]bool, call *ast.CallExpr) ([]shapeSite, bool) {
+	f := calleeFunc(info, call)
+	if f == nil || funcPkgPath(f) == commPkgPath {
+		return nil, false
+	}
+	sum := m.calleeSummary(f)
+	if sum == nil || sum.CommOpaque || len(sum.Comm) == 0 {
+		return nil, false
+	}
+	var out []shapeSite
+	for _, sc := range sum.Comm {
+		if sc.RankParam >= len(call.Args) {
+			return nil, false
+		}
+		dir := shapeRecv
+		if sc.Send {
+			dir = shapeSend
+		}
+		// Resolve the rank argument in the caller's terms, then compose the
+		// helper's own offset on top.
+		kind, offset, rankName := classifyRank(info, ranks, call.Args[sc.RankParam])
+		if sc.Sign != 0 {
+			offText := sc.OffConst
+			if sc.OffParam >= 0 {
+				if sc.OffParam >= len(call.Args) || mentionsRank(info, ranks, call.Args[sc.OffParam]) {
+					kind = shapeOther
+				} else {
+					offText = types.ExprString(call.Args[sc.OffParam])
+				}
+			}
+			switch {
+			case kind == shapeOther:
+			case kind != shapeSelf:
+				// r±e composed with a further ±e' has no canonical text to
+				// match against inline sites; skip the group conservatively.
+				kind = shapeOther
+			case sc.Sign > 0:
+				kind, offset = shapePlus, offText
+			default:
+				kind, offset = shapeMinus, offText
+			}
+		}
+		// Resolve the tag in the caller's terms.
+		var tagKey any
+		tagStr := sc.TagStr
+		if sc.TagParam >= 0 {
+			if sc.TagParam >= len(call.Args) {
+				return nil, false
+			}
+			var ok bool
+			tagKey, tagStr, ok = tagKeyOf(info, call.Args[sc.TagParam])
+			if !ok {
+				return nil, true // poisons the caller, like any computed tag
+			}
+		} else {
+			tagKey = sc.TagKey
+		}
+		out = append(out, shapeSite{
+			call: call, dir: dir, kind: kind, offset: offset,
+			rankName: rankName, tagKey: tagKey, tagStr: tagStr,
+		})
+	}
+	return out, false
 }

@@ -28,9 +28,10 @@ import (
 //     computed tag defeats static matching and is one off-by-one away
 //     from a cross-phase collision.
 var commTagAnalyzer = &Analyzer{
-	Name: "commtag",
-	Doc:  "cross-check constant message tags between send and receive sides",
-	Run:  runCommTag,
+	Name:     "commtag",
+	Doc:      "cross-check constant message tags between send and receive sides",
+	Severity: SeverityWarning,
+	Run:      runCommTag,
 }
 
 // tagArgIndex maps each comm operation that takes a tag to the tag's

@@ -20,9 +20,10 @@ import (
 // function exits. `if err != nil` on either branch counts as checking;
 // rebinding a still-unchecked err does not.
 var errDiscardAnalyzer = &Analyzer{
-	Name: "errdiscard",
-	Doc:  "flag World.Run / Try-decoder / Experiment.Run errors that are dropped or never checked",
-	Run:  runErrDiscard,
+	Name:     "errdiscard",
+	Doc:      "flag World.Run / Try-decoder / Experiment.Run errors that are dropped or never checked",
+	Severity: SeverityError,
+	Run:      runErrDiscard,
 }
 
 // errSource describes one monitored call: how to render it and which result
@@ -33,8 +34,34 @@ type errSource struct {
 	results  int // total results
 }
 
-// errSourceOf classifies a call as a monitored error producer.
-func errSourceOf(info *types.Info, call *ast.CallExpr) (errSource, bool) {
+// errSourceOf classifies a call as a monitored error producer: the directly
+// monitored entry points, or — interprocedurally — any summarized function
+// whose result carries a monitored error on some path (a helper wrapping
+// World.Run must be checked exactly like World.Run itself).
+func errSourceOf(m *Module, info *types.Info, call *ast.CallExpr) (errSource, bool) {
+	if src, ok := errSourceBase(info, call); ok {
+		return src, true
+	}
+	f := calleeFunc(info, call)
+	if f == nil {
+		return errSource{}, false
+	}
+	if sum := m.calleeSummary(f); sum != nil {
+		for i, label := range sum.ErrLabel {
+			if label != "" {
+				return errSource{
+					label:    label + " (via " + f.Name() + ")",
+					errIndex: i,
+					results:  sum.NumResults,
+				}, true
+			}
+		}
+	}
+	return errSource{}, false
+}
+
+// errSourceBase classifies the directly monitored error producers.
+func errSourceBase(info *types.Info, call *ast.CallExpr) (errSource, bool) {
 	if f := calleeFunc(info, call); f != nil {
 		switch funcPkgPath(f) {
 		case commPkgPath:
@@ -102,14 +129,14 @@ func runErrDiscard(m *Module) []Finding {
 	for _, pkg := range m.Pkgs {
 		for _, file := range pkg.Files {
 			eachFuncBody(file, func(body *ast.BlockStmt) {
-				errDiscardFunc(rep, pkg.Info, body)
+				errDiscardFunc(rep, m, pkg.Info, body)
 			})
 		}
 	}
 	return p.findings
 }
 
-func errDiscardFunc(rep *reporter, info *types.Info, body *ast.BlockStmt) {
+func errDiscardFunc(rep *reporter, m *Module, info *types.Info, body *ast.BlockStmt) {
 	g := BuildCFG(body)
 	// Collect the monitored assignment sites up front: the transfer function
 	// runs more than once per block during fixed-point iteration, so site
@@ -126,7 +153,7 @@ func errDiscardFunc(rep *reporter, info *types.Info, body *ast.BlockStmt) {
 			if !ok {
 				continue
 			}
-			src, ok := errSourceOf(info, call)
+			src, ok := errSourceOf(m, info, call)
 			if !ok || len(a.Lhs) != src.results || len(births) >= maxFactSites {
 				continue
 			}
@@ -145,14 +172,14 @@ func errDiscardFunc(rep *reporter, info *types.Info, body *ast.BlockStmt) {
 			switch n := n.(type) {
 			case *ast.ExprStmt:
 				if call, ok := unparen(n.X).(*ast.CallExpr); ok {
-					if src, ok := errSourceOf(info, call); ok {
+					if src, ok := errSourceOf(m, info, call); ok {
 						if report {
 							rep.reportf(call.Pos(), "the error returned by %s is discarded; a failed run must be handled, not dropped", src.label)
 						}
 					}
 				}
 			case *ast.AssignStmt:
-				errDiscardAssign(rep, info, env, sites, births, n, report)
+				errDiscardAssign(rep, m, info, env, sites, births, n, report)
 			case *ast.ReturnStmt:
 				// A return that propagates some other non-nil error value
 				// supersedes pending errors: the errSlot idiom gives domain
@@ -187,7 +214,7 @@ func errDiscardFunc(rep *reporter, info *types.Info, body *ast.BlockStmt) {
 // errDiscardAssign applies one assignment: kill-and-rebind error facts,
 // reporting blank discards immediately and pending errors that are about to
 // be overwritten unchecked.
-func errDiscardAssign(rep *reporter, info *types.Info, env factEnv, sites map[*ast.AssignStmt]int, births []errBirth, n *ast.AssignStmt, report bool) {
+func errDiscardAssign(rep *reporter, m *Module, info *types.Info, env factEnv, sites map[*ast.AssignStmt]int, births []errBirth, n *ast.AssignStmt, report bool) {
 	targets := lhsObjs(info, n.Lhs)
 	// Overwriting a variable kills its fact; doing so while the error is
 	// still pending is itself the bug.
@@ -206,7 +233,7 @@ func errDiscardAssign(rep *reporter, info *types.Info, env factEnv, sites map[*a
 	}
 	birth := births[idx]
 	call, _ := rhsCall(n)
-	errLhs := n.Lhs[errSiteIndex(info, call)]
+	errLhs := n.Lhs[errSiteIndex(m, info, call)]
 	if id, ok := unparen(errLhs).(*ast.Ident); ok && id.Name == "_" {
 		if report {
 			rep.reportf(birth.pos, "the error returned by %s is assigned to _ and dropped", birth.label)
@@ -247,8 +274,8 @@ func implementsError(t types.Type) bool {
 }
 
 // errSiteIndex re-derives the error result index of a monitored call.
-func errSiteIndex(info *types.Info, call *ast.CallExpr) int {
-	src, _ := errSourceOf(info, call)
+func errSiteIndex(m *Module, info *types.Info, call *ast.CallExpr) int {
+	src, _ := errSourceOf(m, info, call)
 	return src.errIndex
 }
 

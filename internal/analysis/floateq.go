@@ -24,9 +24,10 @@ import (
 // Measurement, reporting and CLI packages are out of scope: they compare
 // floats for formatting, not for correctness.
 var floatEqAnalyzer = &Analyzer{
-	Name: "floateq",
-	Doc:  "flag exact floating-point equality comparisons in solver/kernel code",
-	Run:  runFloatEq,
+	Name:     "floateq",
+	Doc:      "flag exact floating-point equality comparisons in solver/kernel code",
+	Severity: SeverityWarning,
+	Run:      runFloatEq,
 }
 
 // floateqExclude lists package paths (exact, or as a subtree) where exact

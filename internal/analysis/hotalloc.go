@@ -21,9 +21,10 @@ import (
 // initialization on states restored from disk — carry
 // //lint:ignore hotalloc <reason> directives.
 var hotAllocAnalyzer = &Analyzer{
-	Name: "hotalloc",
-	Doc:  "flag mat.New* allocations inside solve-phase functions of the core package",
-	Run:  runHotAlloc,
+	Name:     "hotalloc",
+	Doc:      "flag mat.New* allocations inside solve-phase functions of the core package",
+	Severity: SeverityWarning,
+	Run:      runHotAlloc,
 }
 
 // corePkgPath is the one production package whose solve paths are required

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/types"
+	"path/filepath"
+	"testing"
+)
+
+func loadNamedFixture(t *testing.T, name string) *Module {
+	t.Helper()
+	host := hostModule(t)
+	fix, err := host.LoadFixture(filepath.Join("testdata", "src", name), "fix/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return fix
+}
+
+func fixturePkg(t *testing.T, m *Module, path string) *Package {
+	t.Helper()
+	for _, p := range m.Pkgs {
+		if p.Path == path {
+			return p
+		}
+	}
+	t.Fatalf("package %s not in fixture module", path)
+	return nil
+}
+
+func funcNamed(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	obj := pkg.Pkg.Scope().Lookup(name)
+	f, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("function %s not found in %s", name, pkg.Path)
+	}
+	return f
+}
+
+// TestCallGraphStructure checks the resolved edges and the condensation
+// order on the callgraph fixture: callees come before callers, recursion
+// forms the right SCCs, and function-value references count as edges.
+func TestCallGraphStructure(t *testing.T) {
+	fix := loadNamedFixture(t, "callgraph")
+	pkg := fixturePkg(t, fix, "fix/callgraph")
+	g := buildCallGraph(pkg)
+
+	node := func(name string) *FuncNode {
+		n := g.ByObj[funcNamed(t, pkg, name)]
+		if n == nil {
+			t.Fatalf("no call-graph node for %s", name)
+		}
+		return n
+	}
+	hasEdge := func(from, to string) bool {
+		for _, c := range node(from).Callees {
+			if c == node(to) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range [][2]string{{"top", "middle"}, {"middle", "leaf"}, {"viaValue", "leaf"},
+		{"selfLoop", "selfLoop"}, {"pingA", "pingB"}, {"pingB", "pingA"}} {
+		if !hasEdge(e[0], e[1]) {
+			t.Errorf("missing call edge %s -> %s", e[0], e[1])
+		}
+	}
+
+	sccIndex := make(map[*FuncNode]int)
+	for i, scc := range g.SCCs {
+		for _, n := range scc {
+			sccIndex[n] = i
+		}
+	}
+	// Reverse-topological: every callee's SCC is emitted no later than its
+	// caller's.
+	for _, n := range g.Nodes {
+		for _, c := range n.Callees {
+			if sccIndex[c] > sccIndex[n] {
+				t.Errorf("SCC order violated: %s (scc %d) calls %s (scc %d)",
+					n.Obj.Name(), sccIndex[n], c.Obj.Name(), sccIndex[c])
+			}
+		}
+	}
+	if i, j := sccIndex[node("pingA")], sccIndex[node("pingB")]; i != j {
+		t.Errorf("pingA and pingB in different SCCs (%d, %d)", i, j)
+	}
+	for _, name := range []string{"selfLoop", "pingA"} {
+		if !isRecursive(g.SCCs[sccIndex[node(name)]]) {
+			t.Errorf("SCC of %s not marked recursive", name)
+		}
+	}
+	if isRecursive(g.SCCs[sccIndex[node("leaf")]]) {
+		t.Errorf("SCC of leaf wrongly marked recursive")
+	}
+}
+
+// TestSummaryDims checks the dimension facet end to end: leaf constructs
+// (2m x m), and the chain propagates it through two substitution layers.
+func TestSummaryDims(t *testing.T) {
+	fix := loadNamedFixture(t, "callgraph")
+	pkg := fixturePkg(t, fix, "fix/callgraph")
+	for _, name := range []string{"leaf", "middle", "top"} {
+		sum := fix.calleeSummary(funcNamed(t, pkg, name))
+		if sum == nil {
+			t.Fatalf("no summary for %s", name)
+		}
+		if len(sum.Dims) != 1 || !sum.Dims[0].known() {
+			t.Fatalf("%s: matrix result dims unknown", name)
+		}
+		rows, cols := sum.Dims[0].Rows, sum.Dims[0].Cols
+		m := sumVar{svInt, 1}
+		if rows.K != 0 || rows.Lin[m] != 2 || len(rows.Lin) != 1 {
+			t.Errorf("%s rows = %+v, want 2*param1", name, rows)
+		}
+		if cols.K != 0 || cols.Lin[m] != 1 || len(cols.Lin) != 1 {
+			t.Errorf("%s cols = %+v, want param1", name, cols)
+		}
+		if len(sum.CheckoutOf) != 1 || sum.CheckoutOf[0] != 0 {
+			t.Errorf("%s CheckoutOf = %v, want [0] (checkout of ws)", name, sum.CheckoutOf)
+		}
+	}
+}
+
+// TestSummaryCache checks that repeated queries hit the per-package cache
+// and that the stats counters move.
+func TestSummaryCache(t *testing.T) {
+	fix := loadNamedFixture(t, "callgraph")
+	pkg := fixturePkg(t, fix, "fix/callgraph")
+	leaf := funcNamed(t, pkg, "leaf")
+
+	before := fix.SummaryStats()
+	if fix.calleeSummary(leaf) == nil {
+		t.Fatal("no summary for leaf")
+	}
+	mid := fix.SummaryStats()
+	if fix.calleeSummary(leaf) == nil {
+		t.Fatal("no summary for leaf on second query")
+	}
+	after := fix.SummaryStats()
+
+	// The first query summarizes the whole package, issuing recursive
+	// requests for intra-package callees along the way.
+	if mid.Requests <= before.Requests {
+		t.Errorf("first query: requests %d -> %d, want an increase", before.Requests, mid.Requests)
+	}
+	if after.CacheHits != mid.CacheHits+1 {
+		t.Errorf("second query: cache hits %d -> %d, want +1", mid.CacheHits, after.CacheHits)
+	}
+	if after.PackagesComputed <= before.PackagesComputed-1 {
+		t.Errorf("packages computed did not advance: %+v", after)
+	}
+}
+
+// TestInterproceduralDelta proves each summary-consuming analyzer differs
+// from its intraprocedural self on the fixture functions that motivate the
+// upgrade: wsescape, poolrelease and errdiscard close false negatives (more
+// findings with summaries), commshape removes a false positive (fewer).
+func TestInterproceduralDelta(t *testing.T) {
+	cases := []struct {
+		name  string
+		delta int // findings with summaries minus findings without
+	}{
+		{"wsescape", 1},
+		{"poolrelease", 2},
+		{"errdiscard", 1},
+		{"commshape", -1},
+		{"blockshape", 2},
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			a := byName[c.name]
+			if a == nil {
+				t.Fatalf("no analyzer named %s", c.name)
+			}
+			fix := loadNamedFixture(t, c.name)
+			with := len(a.Run(fix))
+			fix.NoInterp = true
+			without := len(a.Run(fix))
+			fix.NoInterp = false
+			if with-without != c.delta {
+				t.Errorf("%s: %d findings with summaries, %d without, delta %+d; want %+d",
+					c.name, with, without, with-without, c.delta)
+			}
+		})
+	}
+}

@@ -37,6 +37,10 @@ type Module struct {
 	Fset *token.FileSet
 	// Pkgs is in dependency order (imported packages first).
 	Pkgs []*Package
+	// NoInterp disables the interprocedural layer: calleeSummary returns
+	// nil everywhere and every analyzer falls back to its intraprocedural
+	// behavior. Set by the driver's -interprocedural=false escape hatch.
+	NoInterp bool
 
 	loader *loader
 }
@@ -49,6 +53,11 @@ type loader struct {
 	fset *token.FileSet
 	std  types.Importer
 	pkgs map[string]*Package
+	// sums caches per-package function summaries (summary.go), keyed by the
+	// loaded Package so fixture reloads of the same synthetic path never
+	// serve summaries keyed on a previous type-check's objects.
+	sums     map[*Package]pkgSummaries
+	sumStats SummaryStats
 }
 
 func newLoader(fset *token.FileSet) *loader {
@@ -56,6 +65,7 @@ func newLoader(fset *token.FileSet) *loader {
 		fset: fset,
 		std:  importer.ForCompiler(fset, "source", nil),
 		pkgs: make(map[string]*Package),
+		sums: make(map[*Package]pkgSummaries),
 	}
 }
 
@@ -326,10 +336,11 @@ func (m *Module) LoadFixture(dir, fixturePath string) (*Module, error) {
 	}
 	pkg.Dir = dir
 	return &Module{
-		Root:   dir,
-		Path:   fixturePath,
-		Fset:   m.Fset,
-		Pkgs:   []*Package{pkg},
-		loader: m.loader,
+		Root:     dir,
+		Path:     fixturePath,
+		Fset:     m.Fset,
+		Pkgs:     []*Package{pkg},
+		NoInterp: m.NoInterp,
+		loader:   m.loader,
 	}, nil
 }

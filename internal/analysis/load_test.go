@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The loader's error paths, exercised against the self-contained broken
+// modules under testdata/brokenmod. Each fixture carries its own go.mod so
+// LoadModule treats it as a module root; the Go toolchain ignores testdata
+// trees, so the deliberately broken sources never reach go build.
+
+func brokenMod(name string) string {
+	return filepath.Join("testdata", "brokenmod", name)
+}
+
+func TestLoadModuleMissingImport(t *testing.T) {
+	_, err := LoadModule(brokenMod("missingimport"))
+	if err == nil {
+		t.Fatal("LoadModule succeeded on a module importing a nonexistent local package")
+	}
+	if !strings.Contains(err.Error(), "imported but not found in module") {
+		t.Errorf("error = %v, want the missing-package diagnostic", err)
+	}
+	if !strings.Contains(err.Error(), "brokenmod/sub") {
+		t.Errorf("error = %v, want it to name brokenmod/sub", err)
+	}
+}
+
+func TestLoadModuleSyntaxError(t *testing.T) {
+	_, err := LoadModule(brokenMod("syntaxerr"))
+	if err == nil {
+		t.Fatal("LoadModule succeeded on a module with a parse error")
+	}
+	if !strings.Contains(err.Error(), "bad.go") {
+		t.Errorf("error = %v, want it to name the unparsable file", err)
+	}
+}
+
+func TestLoadModuleMixedPackages(t *testing.T) {
+	_, err := LoadModule(brokenMod("mixedpkg"))
+	if err == nil {
+		t.Fatal("LoadModule succeeded on a directory with two package clauses")
+	}
+	if !strings.Contains(err.Error(), "mixed packages") {
+		t.Errorf("error = %v, want the mixed-packages diagnostic", err)
+	}
+}
+
+func TestLoadModuleImportCycle(t *testing.T) {
+	_, err := LoadModule(brokenMod("cycle"))
+	if err == nil {
+		t.Fatal("LoadModule succeeded on a module with an import cycle")
+	}
+	if !strings.Contains(err.Error(), "import cycle through") {
+		t.Errorf("error = %v, want the import-cycle diagnostic", err)
+	}
+}
+
+// TestLoadModuleSkipsVendor pins the walk exclusions: the vendor tree next
+// to a valid root package contains unparsable garbage, and the load must
+// succeed without ever reading it.
+func TestLoadModuleSkipsVendor(t *testing.T) {
+	m, err := LoadModule(brokenMod("vendored"))
+	if err != nil {
+		t.Fatalf("LoadModule failed on a module whose only junk lives under vendor/: %v", err)
+	}
+	if len(m.Pkgs) != 1 || m.Pkgs[0].Path != "vendored" {
+		t.Fatalf("loaded packages = %v, want exactly the root package", m.Pkgs)
+	}
+}
+
+func TestFindModuleRootNotFound(t *testing.T) {
+	if root, err := FindModuleRoot("/"); err == nil {
+		t.Fatalf("FindModuleRoot(/) = %q, want an error", root)
+	} else if !strings.Contains(err.Error(), "no go.mod") {
+		t.Errorf("error = %v, want the no-go.mod diagnostic", err)
+	}
+}

@@ -23,9 +23,10 @@ import (
 // disjoint: the analyzer checks the documented contract ("dst must not
 // alias a or b"), not runtime overlap.
 var matAliasAnalyzer = &Analyzer{
-	Name: "matalias",
-	Doc:  "flag mat kernel calls whose destination may alias a source operand",
-	Run:  runMatAlias,
+	Name:     "matalias",
+	Doc:      "flag mat kernel calls whose destination may alias a source operand",
+	Severity: SeverityError,
+	Run:      runMatAlias,
 }
 
 const matPkgPath = "blocktri/internal/mat"

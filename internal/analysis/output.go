@@ -22,12 +22,28 @@ type jsonFinding struct {
 	Message  string `json:"message"`
 }
 
-// WriteJSON renders findings as a JSON array (never null), with file paths
-// made relative to root where possible.
-func WriteJSON(w io.Writer, findings []Finding, root string) error {
-	out := make([]jsonFinding, 0, len(findings))
+// JSONInterp is the run-level interprocedural metadata in the JSON report:
+// whether summaries were consulted and the deterministic cache counters.
+type JSONInterp struct {
+	Enabled   bool         `json:"enabled"`
+	Summaries SummaryStats `json:"summaries"`
+}
+
+// jsonReport is the top-level JSON document: the findings plus the
+// interprocedural block. Everything in it is deterministic, so two runs over
+// the same tree produce byte-identical output.
+type jsonReport struct {
+	Findings        []jsonFinding `json:"findings"`
+	Interprocedural JSONInterp    `json:"interprocedural"`
+}
+
+// WriteJSON renders a lint run as a JSON object with a "findings" array
+// (never null) and an "interprocedural" metadata block, with file paths made
+// relative to root where possible.
+func WriteJSON(w io.Writer, findings []Finding, root string, interp JSONInterp) error {
+	out := jsonReport{Findings: make([]jsonFinding, 0, len(findings)), Interprocedural: interp}
 	for _, f := range findings {
-		out = append(out, jsonFinding{
+		out.Findings = append(out.Findings, jsonFinding{
 			File:     relToRoot(root, f.Pos.Filename),
 			Line:     f.Pos.Line,
 			Column:   f.Pos.Column,
@@ -63,8 +79,14 @@ type sarifDriver struct {
 }
 
 type sarifRule struct {
-	ID               string    `json:"id"`
-	ShortDescription sarifText `json:"shortDescription"`
+	ID               string      `json:"id"`
+	ShortDescription sarifText   `json:"shortDescription"`
+	HelpURI          string      `json:"helpUri"`
+	DefaultConfig    sarifConfig `json:"defaultConfiguration"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
 }
 
 type sarifText struct {
@@ -96,19 +118,44 @@ type sarifRegion struct {
 	StartColumn int `json:"startColumn,omitempty"`
 }
 
+// helpAnchor is the documentation link baked into each SARIF rule: the
+// per-analyzer anchor inside the static-analysis guide.
+func helpAnchor(name string) string {
+	return "docs/STATIC_ANALYSIS.md#" + name
+}
+
 // WriteSARIF renders findings as a SARIF 2.1.0 log: one rule per analyzer
-// in the suite (found or not, so the report names what ran), one result per
-// finding.
+// in the suite (found or not, so the report names what ran) plus the
+// "suppress" pseudo-rule for directive hygiene, one result per finding. Each
+// rule carries a helpUri pointing at its section of the analyzer guide and a
+// defaultConfiguration.level matching the analyzer's severity tier.
 func WriteSARIF(w io.Writer, analyzers []*Analyzer, findings []Finding, root string) error {
-	rules := make([]sarifRule, 0, len(analyzers))
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	levels := map[string]string{SuppressName: SeverityWarning}
 	for _, a := range analyzers {
-		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: a.Doc},
+			HelpURI:          helpAnchor(a.Name),
+			DefaultConfig:    sarifConfig{Level: a.Severity},
+		})
+		levels[a.Name] = a.Severity
 	}
+	rules = append(rules, sarifRule{
+		ID:               SuppressName,
+		ShortDescription: sarifText{Text: "lint:ignore directives must name a real analyzer and match a finding"},
+		HelpURI:          helpAnchor("suppression"),
+		DefaultConfig:    sarifConfig{Level: SeverityWarning},
+	})
 	results := make([]sarifResult, 0, len(findings))
 	for _, f := range findings {
+		level := levels[f.Analyzer]
+		if level == "" {
+			level = SeverityWarning
+		}
 		results = append(results, sarifResult{
 			RuleID:  f.Analyzer,
-			Level:   "warning",
+			Level:   level,
 			Message: sarifText{Text: f.Message},
 			Locations: []sarifLocation{{
 				PhysicalLocation: sarifPhysical{

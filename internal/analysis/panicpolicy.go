@@ -33,9 +33,10 @@ import (
 // constructor misuse outside any Run body) carry //lint:ignore panicpolicy
 // directives with their rationale.
 var panicPolicyAnalyzer = &Analyzer{
-	Name: "panicpolicy",
-	Doc:  "flag panic(err), discarded factor/solve errors, and bare panics in the comm/core runtime",
-	Run:  runPanicPolicy,
+	Name:     "panicpolicy",
+	Doc:      "flag panic(err), discarded factor/solve errors, and bare panics in the comm/core runtime",
+	Severity: SeverityWarning,
+	Run:      runPanicPolicy,
 }
 
 // errorResultFuncs is the factor/solve/invert call family covered by the

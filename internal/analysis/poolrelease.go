@@ -26,9 +26,10 @@ import (
 // conditional hand-off in BcastMatrixInto manage buffer ownership in ways
 // only the runtime contract, not intraprocedural flow, can justify.
 var poolReleaseAnalyzer = &Analyzer{
-	Name: "poolrelease",
-	Doc:  "pooled comm payloads bound to a variable must reach Release exactly once on every path",
-	Run:  runPoolRelease,
+	Name:     "poolrelease",
+	Doc:      "pooled comm payloads bound to a variable must reach Release exactly once on every path",
+	Severity: SeverityError,
+	Run:      runPoolRelease,
 }
 
 // relBit marks "a Release has happened on this path"; the low bits carry
@@ -52,7 +53,7 @@ func runPoolRelease(m *Module) []Finding {
 		}
 		for _, file := range pkg.Files {
 			eachFuncBody(file, func(body *ast.BlockStmt) {
-				poolReleaseFunc(rep, pkg.Info, body)
+				poolReleaseFunc(rep, m, pkg.Info, body)
 			})
 		}
 	}
@@ -75,7 +76,7 @@ func isPoolAcquire(method string) bool {
 	return method == "Recv" || method == "SendRecv" || method == "Exchange"
 }
 
-func poolReleaseFunc(rep *reporter, info *types.Info, body *ast.BlockStmt) {
+func poolReleaseFunc(rep *reporter, m *Module, info *types.Info, body *ast.BlockStmt) {
 	g := BuildCFG(body)
 	var sitesList []acqSite
 	sites := make(map[*ast.AssignStmt]int)
@@ -139,7 +140,7 @@ func poolReleaseFunc(rep *reporter, info *types.Info, body *ast.BlockStmt) {
 						delete(env, obj)
 					}
 				}
-				killWholeArgs(info, env, n)
+				killWholeArgs(rep, m, info, env, n, report)
 				if idx, ok := sites[n]; ok {
 					env[objOf(info, n.Lhs[0])] = 1 << uint(idx)
 				}
@@ -150,7 +151,7 @@ func poolReleaseFunc(rep *reporter, info *types.Info, body *ast.BlockStmt) {
 					}
 				}
 			default:
-				poolReleaseCalls(rep, info, env, n, report)
+				poolReleaseCalls(rep, m, info, env, n, report)
 			}
 		}
 		return env
@@ -179,8 +180,8 @@ func poolReleaseFunc(rep *reporter, info *types.Info, body *ast.BlockStmt) {
 
 // poolReleaseCalls processes the calls of one non-assignment node: Release
 // flips the fact, and any other call consuming the whole slice takes over
-// ownership.
-func poolReleaseCalls(rep *reporter, info *types.Info, env factEnv, n ast.Node, report bool) {
+// ownership (unless a summary proves otherwise).
+func poolReleaseCalls(rep *reporter, m *Module, info *types.Info, env factEnv, n ast.Node, report bool) {
 	walkExprs(n, func(x ast.Node) bool {
 		call, ok := x.(*ast.CallExpr)
 		if !ok {
@@ -198,32 +199,59 @@ func poolReleaseCalls(rep *reporter, info *types.Info, env factEnv, n ast.Node, 
 			env[obj] = relBit
 			return true
 		}
-		killWholeCallArgs(info, env, call)
+		killWholeCallArgs(rep, m, info, env, call, report)
 		return true
 	})
 }
 
 // killWholeArgs drops facts for tracked slices passed whole to calls inside
 // an assignment's RHS expressions.
-func killWholeArgs(info *types.Info, env factEnv, n *ast.AssignStmt) {
+func killWholeArgs(rep *reporter, m *Module, info *types.Info, env factEnv, n *ast.AssignStmt, report bool) {
 	for _, r := range n.Rhs {
 		walkExprs(r, func(x ast.Node) bool {
 			if call, ok := x.(*ast.CallExpr); ok {
-				killWholeCallArgs(info, env, call)
+				killWholeCallArgs(rep, m, info, env, call, report)
 			}
 			return true
 		})
 	}
 }
 
-// killWholeCallArgs transfers ownership of any tracked buffer passed as a
-// whole-slice argument (subslices and element reads keep the obligation
-// local, whole-value hand-offs do not).
-func killWholeCallArgs(info *types.Info, env factEnv, call *ast.CallExpr) {
-	for _, arg := range call.Args {
-		if obj := objOf(info, arg); obj != nil {
-			delete(env, obj)
+// killWholeCallArgs applies a call to the tracked buffers among its
+// whole-slice arguments (subslices and element reads keep the obligation
+// local). Without a summary, a whole-value hand-off transfers ownership and
+// the fact dies — the intraprocedural rule. With one:
+//
+//   - a callee that Releases the parameter on every path counts as the
+//     Release itself (and releasing an already-released buffer is the
+//     double-release bug);
+//   - a callee that merely Borrows the parameter leaves the obligation with
+//     the caller, so a later leak is still caught.
+func killWholeCallArgs(rep *reporter, m *Module, info *types.Info, env factEnv, call *ast.CallExpr, report bool) {
+	var sum *FuncSummary
+	if f := calleeFunc(info, call); f != nil && funcPkgPath(f) != commPkgPath {
+		sum = m.calleeSummary(f)
+	}
+	for ai, arg := range call.Args {
+		obj := objOf(info, arg)
+		if obj == nil {
+			continue
 		}
+		if sum != nil && ai < maxSummaryParams {
+			if sum.Releases&(1<<uint(ai)) != 0 {
+				if env[obj]&relBit != 0 && report {
+					rep.reportf(call.Pos(), "pooled payload %q may already have been Released on this path (Release must run exactly once)", identName(arg))
+				}
+				if env[obj] != 0 {
+					env[obj] = relBit
+				}
+				continue
+			}
+			if sum.Borrows&(1<<uint(ai)) != 0 {
+				continue // obligation stays with the caller
+			}
+		}
+		delete(env, obj)
 	}
 }
 

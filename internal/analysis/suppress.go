@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -15,19 +16,41 @@ import (
 // (end-of-line form) and on the line immediately below it (own-line form).
 // The reason is free text; writing one is strongly encouraged because a
 // suppression without a rationale is indistinguishable from a silenced bug.
+//
+// Directives are themselves checked: every run that exercises the full
+// analyzer suite can ask for the directives that named an unknown analyzer
+// or matched no finding (see Unused). Stale directives are worse than none —
+// they read as "this line is known-bad" when the underlying finding is long
+// gone — so the driver reports them under the pseudo-analyzer "suppress".
 
 const ignorePrefix = "//lint:ignore"
 
-// Suppressions records, per file and line, which analyzers are silenced.
+// SuppressName is the pseudo-analyzer that owns findings about the
+// directives themselves (unknown analyzer names, stale suppressions).
+const SuppressName = "suppress"
+
+// directive is one analyzer name from one lint:ignore comment, with a mark
+// recording whether any finding was actually silenced by it.
+type directive struct {
+	pos  token.Position // position of the comment carrying the name
+	name string         // the analyzer the directive names
+	used bool           // set when Suppressed matches a finding against it
+}
+
+// Suppressions records, per file and line, which analyzers are silenced,
+// and tracks which directives ever matched a finding.
 type Suppressions struct {
-	// byFile maps filename -> line -> set of analyzer names.
-	byFile map[string]map[int]map[string]bool
+	// byFile maps filename -> line -> analyzer name -> directive.
+	byFile map[string]map[int]map[string]*directive
+	// all holds every directive in collection order (deterministic: the
+	// module's packages and files are sorted by the loader).
+	all []*directive
 }
 
 // CollectSuppressions scans every comment in the module for lint:ignore
 // directives.
 func CollectSuppressions(m *Module) *Suppressions {
-	s := &Suppressions{byFile: make(map[string]map[int]map[string]bool)}
+	s := &Suppressions{byFile: make(map[string]map[int]map[string]*directive)}
 	for _, pkg := range m.Pkgs {
 		for _, file := range pkg.Files {
 			for _, cg := range file.Comments {
@@ -39,16 +62,21 @@ func CollectSuppressions(m *Module) *Suppressions {
 					pos := m.Fset.Position(c.Pos())
 					lines := s.byFile[pos.Filename]
 					if lines == nil {
-						lines = make(map[int]map[string]bool)
+						lines = make(map[int]map[string]*directive)
 						s.byFile[pos.Filename] = lines
 					}
 					set := lines[pos.Line]
 					if set == nil {
-						set = make(map[string]bool)
+						set = make(map[string]*directive)
 						lines[pos.Line] = set
 					}
 					for _, n := range names {
-						set[n] = true
+						if set[n] != nil {
+							continue // duplicate name on the same line
+						}
+						d := &directive{pos: pos, name: n}
+						set[n] = d
+						s.all = append(s.all, d)
 					}
 				}
 			}
@@ -81,14 +109,16 @@ func parseIgnore(text string) ([]string, bool) {
 }
 
 // Suppressed reports whether a finding by the named analyzer at pos is
-// covered by a directive on the same line or the line above.
+// covered by a directive on the same line or the line above, and marks the
+// covering directive as used.
 func (s *Suppressions) Suppressed(analyzer string, pos token.Position) bool {
 	lines := s.byFile[pos.Filename]
 	if lines == nil {
 		return false
 	}
 	for _, l := range [2]int{pos.Line, pos.Line - 1} {
-		if set := lines[l]; set != nil && set[analyzer] {
+		if d := lines[l][analyzer]; d != nil {
+			d.used = true
 			return true
 		}
 	}
@@ -104,5 +134,41 @@ func FilterSuppressed(fs []Finding, s *Suppressions) []Finding {
 			out = append(out, f)
 		}
 	}
+	return out
+}
+
+// Unused audits the directives after a lint run. known is the set of valid
+// analyzer names; directives naming anything else are reported as typos, and
+// directives that never matched a finding are reported as stale. The result
+// is only meaningful when every analyzer in known actually ran, so the
+// driver gates this on a full-suite invocation.
+func (s *Suppressions) Unused(known map[string]bool) []Finding {
+	var out []Finding
+	for _, d := range s.all {
+		switch {
+		case !known[d.name]:
+			out = append(out, Finding{
+				Pos:      d.pos,
+				Analyzer: SuppressName,
+				Message:  "lint:ignore names unknown analyzer \"" + d.name + "\"",
+			})
+		case !d.used:
+			out = append(out, Finding{
+				Pos:      d.pos,
+				Analyzer: SuppressName,
+				Message:  "lint:ignore directive for \"" + d.name + "\" matches no finding; delete it",
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
 	return out
 }

@@ -1,0 +1,102 @@
+package analysis
+
+// Linear integer terms over symbolic variables — the shared arithmetic of
+// the summary dimension facet (summary.go, variables indexed by parameter)
+// and the blockshape abstract interpreter (blockshape.go, variables rooted
+// in local objects).
+//
+// A term is K + sum(Lin[v] * v). The zero value is "no value"; Known
+// distinguishes the constant 0 from it. All symbolic variables denote
+// matrix dimensions or block sizes, which the mat constructors require to
+// be positive — provablyDifferent leans on that.
+
+type linTerm[V comparable] struct {
+	Known bool
+	K     int64
+	Lin   map[V]int64
+}
+
+func constTerm[V comparable](k int64) linTerm[V] { return linTerm[V]{Known: true, K: k} }
+
+func varTerm[V comparable](v V) linTerm[V] {
+	return linTerm[V]{Known: true, Lin: map[V]int64{v: 1}}
+}
+
+func (t linTerm[V]) add(o linTerm[V], sign int64) linTerm[V] {
+	if !t.Known || !o.Known {
+		return linTerm[V]{}
+	}
+	r := linTerm[V]{Known: true, K: t.K + sign*o.K}
+	if len(t.Lin)+len(o.Lin) > 0 {
+		r.Lin = make(map[V]int64, len(t.Lin)+len(o.Lin))
+		for v, c := range t.Lin {
+			r.Lin[v] = c
+		}
+		for v, c := range o.Lin {
+			if nc := r.Lin[v] + sign*c; nc != 0 {
+				r.Lin[v] = nc
+			} else {
+				delete(r.Lin, v)
+			}
+		}
+		if len(r.Lin) == 0 {
+			r.Lin = nil
+		}
+	}
+	return r
+}
+
+func (t linTerm[V]) scale(k int64) linTerm[V] {
+	if !t.Known {
+		return linTerm[V]{}
+	}
+	if k == 0 {
+		return constTerm[V](0)
+	}
+	r := linTerm[V]{Known: true, K: t.K * k}
+	if len(t.Lin) > 0 {
+		r.Lin = make(map[V]int64, len(t.Lin))
+		for v, c := range t.Lin {
+			r.Lin[v] = c * k
+		}
+	}
+	return r
+}
+
+func (t linTerm[V]) equal(o linTerm[V]) bool {
+	if t.Known != o.Known || t.K != o.K || len(t.Lin) != len(o.Lin) {
+		return false
+	}
+	for v, c := range t.Lin {
+		if o.Lin[v] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// pureConst reports whether t is a known constant with no symbolic part.
+func (t linTerm[V]) pureConst() bool { return t.Known && len(t.Lin) == 0 }
+
+// provablyDifferent reports whether two known terms cannot be equal for any
+// positive assignment of the symbolic variables: their difference is nonzero
+// with every coefficient and the constant on the same side of zero (2m vs m
+// differs because m >= 1; m vs n does not, because m - n changes sign).
+func provablyDifferent[V comparable](a, b linTerm[V]) bool {
+	if !a.Known || !b.Known {
+		return false
+	}
+	d := a.add(b, -1)
+	if len(d.Lin) == 0 {
+		return d.K != 0
+	}
+	pos, neg := d.K > 0, d.K < 0
+	for _, c := range d.Lin {
+		if c > 0 {
+			pos = true
+		} else {
+			neg = true
+		}
+	}
+	return pos != neg
+}

@@ -1,0 +1,5 @@
+package alpha
+
+import "brokencycle/beta"
+
+var A = beta.B

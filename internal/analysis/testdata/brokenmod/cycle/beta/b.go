@@ -1,0 +1,5 @@
+package beta
+
+import "brokencycle/alpha"
+
+var B = alpha.A

@@ -1,0 +1,3 @@
+module brokencycle
+
+go 1.21

@@ -1,0 +1,7 @@
+// Package missingimport imports a module-local package that has no source
+// directory; the loader must say so instead of panicking mid-walk.
+package missingimport
+
+import "brokenmod/sub"
+
+var _ = sub.X

@@ -1,0 +1,3 @@
+package alpha
+
+var A = 1

@@ -1,0 +1,3 @@
+package beta
+
+var B = 2

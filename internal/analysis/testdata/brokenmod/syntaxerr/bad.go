@@ -1,0 +1,4 @@
+// Package syntaxerr fails to parse: the brace never closes.
+package syntaxerr
+
+func oops() {

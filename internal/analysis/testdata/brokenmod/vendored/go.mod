@@ -1,0 +1,3 @@
+module vendored
+
+go 1.21

@@ -1,0 +1,5 @@
+// Package vendored is a well-formed root package; the vendor tree next to
+// it is full of garbage the loader must never read.
+package vendored
+
+var OK = true

@@ -1,0 +1,3 @@
+package junk
+
+this is not Go at all {{{

@@ -1,0 +1,137 @@
+// Package blockshape is a fixture for the blockshape analyzer: symbolic
+// shape checking of mat call sites, including dimensions that only a
+// function summary can see.
+package blockshape
+
+import "blocktri/internal/mat"
+
+// badMulDirect multiplies a (2m x 2m) block by an (m x k) block: the inner
+// dimensions differ by a factor of two for every positive m.
+func badMulDirect(ws *mat.Workspace, m, k int) {
+	f := ws.Get(2*m, 2*m)
+	a := ws.Get(m, k)
+	dst := ws.Get(2*m, k)
+	mat.Mul(dst, f, a) // want `mat\.Mul shape mismatch: a\.Cols = 2\*m but b\.Rows = m`
+}
+
+// doubledSquare builds the doubled reduced block; its summary records the
+// (2m x 2m) shape in terms of the caller's arguments.
+func doubledSquare(ws *mat.Workspace, m int) *mat.Matrix {
+	return ws.Get(2*m, 2*m)
+}
+
+// badMulViaSummary is shape-unknowable intraprocedurally: only the summary
+// of doubledSquare reveals that f is 2m wide while a is m tall.
+func badMulViaSummary(ws *mat.Workspace, m int) {
+	f := doubledSquare(ws, m)
+	a := ws.Get(m, m)
+	dst := ws.Get(2*m, m)
+	mat.Mul(dst, f, a) // want `mat\.Mul shape mismatch: a\.Cols = 2\*m but b\.Rows = m`
+}
+
+// rhsBlock builds a multi-RHS block of the wrong height for its caller's
+// factorization.
+func rhsBlock(ws *mat.Workspace, m, k int) *mat.Matrix {
+	return ws.Get(2*m, k)
+}
+
+// badSolveToViaSummary factors an (m x m) block and back-substitutes a
+// summary-shaped (2m x k) right-hand side into it.
+func badSolveToViaSummary(ws *mat.Workspace, m, k int) error {
+	a := ws.Get(m, m)
+	lu, err := ws.LU(a)
+	if err != nil {
+		return err
+	}
+	b := rhsBlock(ws, m, k)
+	x := ws.Get(m, k)
+	lu.SolveTo(x, b) // want `LU\.SolveTo shape mismatch: b\.Rows = 2\*m but LU order = m`
+	return nil
+}
+
+// badSolveRows solves against a right-hand side that is provably one row
+// short.
+func badSolveRows(ws *mat.Workspace, m int) error {
+	a := ws.Get(m, m)
+	b := ws.Get(m-1, 1)
+	x, err := mat.Solve(a, b) // want `mat\.Solve shape mismatch: a\.Rows = m but b\.Rows = m - 1`
+	_ = x
+	return err
+}
+
+// notSquare factors a provably rectangular block.
+func notSquare(ws *mat.Workspace, m int) {
+	a := ws.Get(2*m, m)
+	lu, err := ws.LU(a) // want `Workspace\.LU shape mismatch: a rows = 2\*m but a cols = m`
+	_, _ = lu, err
+}
+
+// mixedConstant multiplies a block whose inner dimension is the literal 4
+// against a symbolic one — not provably wrong, but suspicious enough to
+// flag.
+func mixedConstant(ws *mat.Workspace, m int) {
+	f := ws.Get(m, 4)
+	g := ws.Get(m, 1)
+	dst := ws.Get(m, 1)
+	mat.Mul(dst, f, g) // want `mat\.Mul mixes a constant with a symbolic dimension: a\.Cols = 4 but b\.Rows = m`
+}
+
+// badCopy copies between provably different widths.
+func badCopy(ws *mat.Workspace, m, k int) {
+	dst := ws.Get(m, k)
+	src := ws.Get(m, k+1)
+	dst.CopyFrom(src) // want `Matrix\.CopyFrom shape mismatch: dst cols = k but src cols = k \+ 1`
+}
+
+// conformant is the negative space: a fully checked solve chain with no
+// findings.
+func conformant(ws *mat.Workspace, m, k int) error {
+	a := ws.Get(m, m)
+	b := ws.Get(m, k)
+	dst := ws.Get(m, k)
+	mat.Mul(dst, a, b)
+	mat.MulAdd(dst, a, b)
+	lu, err := mat.Factor(a)
+	if err != nil {
+		return err
+	}
+	x := lu.Solve(b)
+	dst.CopyFrom(x)
+	mat.Add(dst, dst, x)
+	lu.SolveTo(dst, b)
+	return nil
+}
+
+// conformantViaSummary threads a helper-built block through a conformant
+// multiply: the summary proves the inner dimensions agree.
+func conformantViaSummary(ws *mat.Workspace, m, k int) {
+	f := rhsBlock(ws, m, k) // (2m x k)
+	g := ws.Get(k, m)
+	dst := ws.Get(2*m, m)
+	mat.Mul(dst, f, g)
+}
+
+// rebindScrubbed writes the dimension variable between checkout and use:
+// every fact derived from the old m is invalidated, so nothing is provable
+// and nothing is reported.
+func rebindScrubbed(ws *mat.Workspace, m, k int) {
+	f := ws.Get(m, k)
+	m = 2 * m
+	g := ws.Get(m, k)
+	dst := ws.Get(m, k)
+	mat.Mul(dst, f, g)
+}
+
+// joinAgrees checks that shapes surviving a join stay comparable: both arms
+// build the same (m x m) block.
+func joinAgrees(ws *mat.Workspace, m int, flag bool) {
+	var f *mat.Matrix
+	if flag {
+		f = ws.Get(m, m)
+	} else {
+		f = ws.GetNoClear(m, m)
+	}
+	g := ws.Get(2*m, m)
+	h := ws.Get(m, m)
+	mat.Mul(g, f, h) // want `mat\.Mul shape mismatch: dst\.Rows = 2\*m but a\.Rows = m`
+}

@@ -1,0 +1,37 @@
+// Package callgraph is a fixture for the interprocedural layer itself:
+// call-graph construction, SCC condensation order, and function summaries.
+// It is not tied to one analyzer, so it carries no want comments.
+package callgraph
+
+import "blocktri/internal/mat"
+
+// chain: top -> middle -> leaf, declared top-first so reverse-topological
+// SCC order must invert the source order.
+func top(ws *mat.Workspace, m int) *mat.Matrix    { return middle(ws, m) }
+func middle(ws *mat.Workspace, m int) *mat.Matrix { return leaf(ws, m) }
+func leaf(ws *mat.Workspace, m int) *mat.Matrix   { return ws.Get(2*m, m) }
+
+// selfLoop is directly recursive: a one-node recursive SCC.
+func selfLoop(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return selfLoop(n - 1)
+}
+
+// pingA and pingB are mutually recursive: a two-node SCC.
+func pingA(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return pingB(n - 1)
+}
+
+func pingB(n int) int { return pingA(n - 1) }
+
+// viaValue references leaf as a function value; the graph must keep the
+// edge even without a direct call.
+func viaValue(ws *mat.Workspace, m int) *mat.Matrix {
+	f := leaf
+	return f(ws, m)
+}

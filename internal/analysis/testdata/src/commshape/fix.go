@@ -75,6 +75,27 @@ func forwarded(c *comm.Comm, tag int, enc []float64) {
 	}
 }
 
+// recvLower performs the receive half of a butterfly step; its summary
+// carries the site into the caller's pairing.
+func recvLower(c *comm.Comm, r, dist, tag int) []float64 {
+	return c.Recv(r-dist, tag)
+}
+
+// pairedThroughHelper is complete only interprocedurally: the Send's mirror
+// Recv(r-dist) lives inside recvLower, and flagging the Send as unpaired —
+// the intraprocedural reading — would be a false positive.
+func pairedThroughHelper(c *comm.Comm, enc []float64) {
+	r, p := c.Rank(), c.Size()
+	for dist := 1; dist < p; dist *= 2 {
+		if r+dist < p {
+			c.Send(r+dist, tagScan, enc) // ok: recvLower supplies Recv(r-dist, tagScan)
+		}
+		if r-dist >= 0 {
+			_ = recvLower(c, r, dist, tagScan)
+		}
+	}
+}
+
 // exchange is symmetric by construction and is never flagged.
 func exchange(c *comm.Comm, data []float64) {
 	r, p := c.Rank(), c.Size()

@@ -92,6 +92,26 @@ func decoderBlank(payload []float64) *mat.Matrix {
 	return m
 }
 
+// runWrapped forwards World.Run's result; its summary labels the returned
+// error with its origin.
+func runWrapped(w *comm.World) error {
+	return w.Run(body)
+}
+
+// discardViaHelper drops the forwarded error: only runWrapped's summary
+// connects the call to World.Run.
+func discardViaHelper(w *comm.World) {
+	runWrapped(w) // want `the error returned by comm\.World\.Run \(via runWrapped\) is discarded`
+}
+
+// checkedViaHelper handles the forwarded error; no finding.
+func checkedViaHelper(w *comm.World) error {
+	if err := runWrapped(w); err != nil {
+		return err
+	}
+	return nil
+}
+
 // experimentDiscard ignores the outcome of a whole experiment run.
 func experimentDiscard(e harness.Experiment) {
 	e.Run(true) // want `the error returned by harness\.Experiment\.Run is discarded`

@@ -78,12 +78,49 @@ func handoff(c *comm.Comm) []float64 {
 	return buf // ok: the caller owns the buffer now
 }
 
-// consumed passes the whole slice to a callee, which takes over ownership.
+// consumed passes the whole slice to a callee whose summary proves it
+// releases (intraprocedurally, the hand-off alone transferred the
+// obligation).
 func consumed(c *comm.Comm) {
 	buf := c.Recv(0, 5)
-	process(c, buf) // ok: whole-slice hand-off transfers the obligation
+	process(c, buf) // ok: process releases on every path
 }
 
 func process(c *comm.Comm, buf []float64) {
 	c.Release(buf)
+}
+
+// borrowSum only reads the payload in place; its summary keeps the caller's
+// Release obligation alive.
+func borrowSum(buf []float64) float64 {
+	var s float64
+	for _, v := range buf {
+		s += v
+	}
+	return s
+}
+
+// leakThroughBorrow was invisible intraprocedurally: the whole-slice call
+// looked like an ownership transfer, but borrowSum's summary proves the
+// buffer comes back unreleased.
+func leakThroughBorrow(c *comm.Comm) float64 {
+	buf := c.Recv(0, 7) // want `pooled payload from comm\.Recv is never Released`
+	v := borrowSum(buf)
+	return v
+}
+
+// borrowThenReleased is the borrowing helper used correctly.
+func borrowThenReleased(c *comm.Comm) float64 {
+	buf := c.Recv(0, 8)
+	v := borrowSum(buf)
+	c.Release(buf)
+	return v
+}
+
+// doubleViaHelper releases through process and then again directly — a
+// double release only process's summary can expose.
+func doubleViaHelper(c *comm.Comm) {
+	buf := c.Recv(0, 9)
+	process(c, buf)
+	c.Release(buf) // want `pooled payload "buf" may already have been Released`
 }

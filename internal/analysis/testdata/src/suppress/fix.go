@@ -1,0 +1,26 @@
+// Package suppress is a fixture for the lint:ignore directive audit (the
+// "suppress" pseudo-analyzer). It carries one directive of each kind: one
+// that silences a real finding, one that is stale, and one that misspells
+// an analyzer name. The expectations are asserted directly by
+// TestSuppressFixture rather than via want comments, because the audit runs
+// after suppression filtering, outside the per-analyzer bijection harness.
+package suppress
+
+// usedDirective really does suppress a floateq finding on the line below.
+func usedDirective(a, b float64) bool {
+	//lint:ignore floateq fixture: intentional exact comparison
+	return a == b
+}
+
+// staleDirective names a real analyzer but the comparison below it is not a
+// finding, so the directive matches nothing.
+func staleDirective(a, b float64) bool {
+	//lint:ignore floateq fixture: nothing to suppress here
+	return a < b
+}
+
+// typoDirective misspells the analyzer name, so it silences nothing at all.
+func typoDirective(a, b float64) bool {
+	//lint:ignore floateqq fixture: misspelled analyzer name
+	return a != b
+}

@@ -94,6 +94,31 @@ func okLocalStruct(b *mat.Matrix) int {
 	return o.m.Rows
 }
 
+// reducedBlock returns a checkout of the caller's arena; its summary ties
+// the result to the workspace argument.
+func reducedBlock(ws *mat.Workspace, b *mat.Matrix) *mat.Matrix {
+	tmp := ws.Get(b.Rows, b.Cols)
+	tmp.CopyFrom(b)
+	return tmp
+}
+
+// staleViaHelper is invisible intraprocedurally: d's tie to ws exists only
+// in reducedBlock's summary, and the Reset between the call and the read
+// recycles d's storage.
+func staleViaHelper(ws *mat.Workspace, b *mat.Matrix) {
+	d := reducedBlock(ws, b)
+	ws.Reset()
+	b.CopyFrom(d) // want `workspace checkout "d" \(from ws\.reducedBlock\) is used after ws\.Reset recycled the arena`
+}
+
+// freshViaHelper checks out through the helper after the Reset; nothing is
+// stale.
+func freshViaHelper(ws *mat.Workspace, b *mat.Matrix) {
+	ws.Reset()
+	d := reducedBlock(ws, b)
+	b.CopyFrom(d)
+}
+
 // luEscape covers the two-result LU checkout.
 func luEscape(a *mat.Matrix) *mat.LU {
 	ws := mat.NewWorkspace()

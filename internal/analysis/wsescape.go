@@ -29,9 +29,10 @@ import (
 // are not tracked. The mat package itself is excluded — the arena
 // internals hand out their own storage by design.
 var wsEscapeAnalyzer = &Analyzer{
-	Name: "wsescape",
-	Doc:  "workspace checkouts must not be read after Reset or escape the arena-owning function",
-	Run:  runWSEscape,
+	Name:     "wsescape",
+	Doc:      "workspace checkouts must not be read after Reset or escape the arena-owning function",
+	Severity: SeverityError,
+	Run:      runWSEscape,
 }
 
 // wsFreshSites caps tracked checkout sites per function: bit i is a live
@@ -57,7 +58,7 @@ func runWSEscape(m *Module) []Finding {
 		}
 		for _, file := range pkg.Files {
 			eachFuncWithType(file, func(ftype *ast.FuncType, recv *ast.FieldList, body *ast.BlockStmt) {
-				wsEscapeFunc(rep, pkg.Info, ftype, recv, body)
+				wsEscapeFunc(rep, m, pkg.Info, ftype, recv, body)
 			})
 		}
 	}
@@ -80,10 +81,37 @@ func eachFuncWithType(file *ast.File, fn func(*ast.FuncType, *ast.FieldList, *as
 	})
 }
 
-// wsCheckout classifies a call as a Workspace checkout on a plain-ident
-// workspace variable, returning that variable's object, the method name,
-// and the number of call results.
-func wsCheckout(info *types.Info, call *ast.CallExpr) (types.Object, string, int) {
+// wsCheckout classifies a call that yields a Workspace checkout on a
+// plain-ident workspace variable: a direct checkout method, or —
+// interprocedurally — a summarized helper whose first result is a checkout
+// of the workspace argument (the buildFInto/reducedMatrixWS idiom). Returns
+// the workspace variable's object, the method or helper name, and the
+// number of call results.
+func wsCheckout(m *Module, info *types.Info, call *ast.CallExpr) (types.Object, string, int) {
+	if wsObj, method, results := wsCheckoutDirect(info, call); wsObj != nil {
+		return wsObj, method, results
+	}
+	f := calleeFunc(info, call)
+	if f == nil || funcPkgPath(f) == matPkgPath {
+		return nil, "", 0
+	}
+	sum := m.calleeSummary(f)
+	if sum == nil || sum.NumResults == 0 || len(sum.CheckoutOf) == 0 {
+		return nil, "", 0
+	}
+	j := sum.CheckoutOf[0]
+	if j < 0 || j >= len(call.Args) {
+		return nil, "", 0
+	}
+	wsObj := objOf(info, call.Args[j])
+	if wsObj == nil || !isWorkspace(wsObj.Type()) {
+		return nil, "", 0
+	}
+	return wsObj, f.Name(), sum.NumResults
+}
+
+// wsCheckoutDirect classifies a direct Workspace checkout method call.
+func wsCheckoutDirect(info *types.Info, call *ast.CallExpr) (types.Object, string, int) {
 	f := calleeFunc(info, call)
 	if f == nil || funcPkgPath(f) != matPkgPath {
 		return nil, "", 0
@@ -133,7 +161,7 @@ func paramObjSet(info *types.Info, ftype *ast.FuncType, recv *ast.FieldList) map
 	return set
 }
 
-func wsEscapeFunc(rep *reporter, info *types.Info, ftype *ast.FuncType, recv *ast.FieldList, body *ast.BlockStmt) {
+func wsEscapeFunc(rep *reporter, m *Module, info *types.Info, ftype *ast.FuncType, recv *ast.FieldList, body *ast.BlockStmt) {
 	g := BuildCFG(body)
 	params := paramObjSet(info, ftype, recv)
 
@@ -149,7 +177,7 @@ func wsEscapeFunc(rep *reporter, info *types.Info, ftype *ast.FuncType, recv *as
 			if !ok {
 				continue
 			}
-			wsObj, method, results := wsCheckout(info, call)
+			wsObj, method, results := wsCheckout(m, info, call)
 			if wsObj == nil || len(a.Lhs) != results || len(sitesList) >= wsFreshSites {
 				continue
 			}
@@ -168,7 +196,7 @@ func wsEscapeFunc(rep *reporter, info *types.Info, ftype *ast.FuncType, recv *as
 
 	transfer := func(env factEnv, b *Block, report bool) factEnv {
 		for _, n := range b.Nodes {
-			wsEscapeNode(rep, info, env, sites, sitesList, params, n, report)
+			wsEscapeNode(rep, m, info, env, sites, sitesList, params, n, report)
 		}
 		return env
 	}
@@ -182,7 +210,7 @@ func wsEscapeFunc(rep *reporter, info *types.Info, ftype *ast.FuncType, recv *as
 	}
 }
 
-func wsEscapeNode(rep *reporter, info *types.Info, env factEnv, sites map[*ast.AssignStmt]int, sitesList []wsSite, params map[types.Object]bool, n ast.Node, report bool) {
+func wsEscapeNode(rep *reporter, m *Module, info *types.Info, env factEnv, sites map[*ast.AssignStmt]int, sitesList []wsSite, params map[types.Object]bool, n ast.Node, report bool) {
 	// A read of a checkout that went stale at a Reset is the core bug.
 	if report {
 		skip := assignTargets(n)
@@ -201,10 +229,10 @@ func wsEscapeNode(rep *reporter, info *types.Info, env factEnv, sites map[*ast.A
 
 	switch n := n.(type) {
 	case *ast.AssignStmt:
-		wsEscapeAssign(rep, info, env, sites, sitesList, n, report)
+		wsEscapeAssign(rep, m, info, env, sites, sitesList, n, report)
 	case *ast.ReturnStmt:
 		for _, r := range n.Results {
-			wsEscapeValue(rep, info, env, sitesList, params, r, report,
+			wsEscapeValue(rep, m, info, env, sitesList, params, r, report,
 				"workspace checkout escapes via return from the function that owns the arena (it dies at the next %s.Reset)")
 		}
 	default:
@@ -248,7 +276,7 @@ func wsEscapeReset(info *types.Info, env factEnv, sitesList []wsSite, n ast.Node
 	})
 }
 
-func wsEscapeAssign(rep *reporter, info *types.Info, env factEnv, sites map[*ast.AssignStmt]int, sitesList []wsSite, n *ast.AssignStmt, report bool) {
+func wsEscapeAssign(rep *reporter, m *Module, info *types.Info, env factEnv, sites map[*ast.AssignStmt]int, sitesList []wsSite, n *ast.AssignStmt, report bool) {
 	// Stores through a pointer or into a package-level variable escape the
 	// arena; stores into function-local values (structs, slices, maps by
 	// value) die with the frame and are fine.
@@ -262,7 +290,7 @@ func wsEscapeAssign(rep *reporter, info *types.Info, env factEnv, sites map[*ast
 				}
 			}
 			if escapingRoot(info, l) {
-				wsEscapeValue(rep, info, env, sitesList, nil, n.Rhs[i], report,
+				wsEscapeValue(rep, m, info, env, sitesList, nil, n.Rhs[i], report,
 					"workspace checkout is stored into a location that outlives the arena (it dies at the next %s.Reset)")
 			}
 		}
@@ -297,7 +325,7 @@ func wsEscapeAssign(rep *reporter, info *types.Info, env factEnv, sites map[*ast
 // exact tracked identifier, or a direct checkout call) to a longer-lived
 // location. params non-nil means checkouts from parameter-owned workspaces
 // are exempt (the return case).
-func wsEscapeValue(rep *reporter, info *types.Info, env factEnv, sitesList []wsSite, params map[types.Object]bool, e ast.Expr, report bool, format string) {
+func wsEscapeValue(rep *reporter, m *Module, info *types.Info, env factEnv, sitesList []wsSite, params map[types.Object]bool, e ast.Expr, report bool, format string) {
 	if !report {
 		return
 	}
@@ -315,7 +343,7 @@ func wsEscapeValue(rep *reporter, info *types.Info, env factEnv, sitesList []wsS
 		return
 	}
 	if call, ok := unparen(e).(*ast.CallExpr); ok {
-		wsObj, _, _ := wsCheckout(info, call)
+		wsObj, _, _ := wsCheckout(m, info, call)
 		if wsObj == nil {
 			return
 		}
