@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-sarif lint-stats test race bench bench-baseline bench-compare verify chaos chaos-soak experiments experiments-quick ci clean
+.PHONY: all build vet lint lint-cold lint-sarif lint-stats lint-watch test race bench bench-baseline bench-compare verify chaos chaos-soak experiments experiments-quick ci clean
 
 all: build vet lint test
 
@@ -12,17 +12,27 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Incremental by default: findings replay from .blocktri-lint-cache/ for
+# packages whose content and dependencies are unchanged.
 lint:
 	$(GO) run ./cmd/blocktri-lint ./...
+
+# Force a cold run (analyze everything, persist nothing).
+lint-cold:
+	$(GO) run ./cmd/blocktri-lint -no-cache ./...
 
 # Same findings as `lint`, rendered as SARIF 2.1.0 for code-scanning UIs.
 lint-sarif:
 	mkdir -p reports
 	$(GO) run ./cmd/blocktri-lint -format sarif ./... > reports/lint.sarif
 
-# Lint with the interprocedural summary-cache counters printed to stderr.
+# Lint with per-analyzer timing and cache/summary counters on stderr.
 lint-stats:
 	$(GO) run ./cmd/blocktri-lint -stats ./...
+
+# Re-lint on every change, printing finding deltas, until interrupted.
+lint-watch:
+	$(GO) run ./cmd/blocktri-lint -watch ./...
 
 test:
 	$(GO) test ./...
@@ -62,4 +72,4 @@ experiments-quick:
 	$(GO) run ./cmd/blocktri-bench -exp all -quick
 
 clean:
-	rm -rf results reports transport.ardf
+	rm -rf results reports transport.ardf .blocktri-lint-cache

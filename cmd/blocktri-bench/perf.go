@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"blocktri"
@@ -41,6 +42,11 @@ type perfEntry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	GFlops      float64 `json:"gflops,omitempty"`
+	// BudgetNs, when nonzero, is an absolute ns/op ceiling gated in compare
+	// mode on top of the relative regression tolerance. The warm lint entry
+	// uses it to pin the acceptance budget (a warm full-repo run must stay
+	// under 200ms) independent of whatever the baseline machine measured.
+	BudgetNs float64 `json:"budget_ns,omitempty"`
 }
 
 // perfSuite is the on-disk format of a BENCH_*.json file.
@@ -177,7 +183,144 @@ func measureLint() ([]perfEntry, error) {
 			AllocsPerOp: res.AllocsPerOp(),
 		})
 	}
+
+	warmInc, err := measureLintCached(root)
+	if err != nil {
+		return nil, err
+	}
+	return append(entries, warmInc...), nil
+}
+
+// lintWarmBudgetNs is the absolute acceptance budget for a cache-warm
+// whole-repo lint: 200ms. In practice a warm run is ~15ms (a scan plus
+// entry reads — nothing is parsed or type-checked), so the gate only trips
+// when the warm path stops being warm.
+const lintWarmBudgetNs = 200e6
+
+// measureLintCached benchmarks the persistent-cache paths:
+//
+//   - Lint/warm: a fully warm run over an unchanged tree (every package
+//     replays from its cache entry), gated by the absolute 200ms budget;
+//   - Lint/incremental: one leaf-command file is touched before every run,
+//     so each iteration re-analyzes exactly that package (and materializes
+//     its import closure for type information) while everything else hits.
+//
+// Both operate on a disposable copy of the module so the benchmark never
+// mutates the working tree or its cache.
+func measureLintCached(root string) ([]perfEntry, error) {
+	copyRoot, err := copyLintModule(root)
+	if err != nil {
+		return nil, fmt.Errorf("lint: copying module: %v", err)
+	}
+	defer os.RemoveAll(copyRoot)
+	opts := analysis.RunOptions{Analyzers: analysis.Analyzers(), CacheDir: analysis.DefaultCacheDir(copyRoot)}
+	if _, err := analysis.RunLint(copyRoot, opts); err != nil {
+		return nil, fmt.Errorf("lint: seeding cache: %v", err)
+	}
+
+	var entries []perfEntry
+	var failed error
+	res := bestOf3(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := analysis.RunLint(copyRoot, opts); err != nil {
+				failed = err
+				b.FailNow()
+			}
+		}
+	})
+	if failed != nil {
+		return nil, fmt.Errorf("lint Lint/warm: %v", failed)
+	}
+	entries = append(entries, perfEntry{
+		Name:        "Lint/warm",
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: res.AllocsPerOp(),
+		BudgetNs:    lintWarmBudgetNs,
+	})
+
+	// The edited file lives in a leaf command package: the realistic
+	// single-file edit whose reverse closure is just its own package.
+	edited := filepath.Join(copyRoot, "cmd", "blocktri-solve", "main.go")
+	gen := 0
+	res = bestOf3(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			gen++
+			src, err := os.ReadFile(edited)
+			if err != nil {
+				failed = err
+				b.FailNow()
+			}
+			src = append(src, []byte(fmt.Sprintf("\n// edit %d\n", gen))...)
+			if err := os.WriteFile(edited, src, 0o644); err != nil {
+				failed = err
+				b.FailNow()
+			}
+			b.StartTimer()
+			if _, err := analysis.RunLint(copyRoot, opts); err != nil {
+				failed = err
+				b.FailNow()
+			}
+		}
+	})
+	if failed != nil {
+		return nil, fmt.Errorf("lint Lint/incremental: %v", failed)
+	}
+	entries = append(entries, perfEntry{
+		Name:        "Lint/incremental",
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: res.AllocsPerOp(),
+	})
 	return entries, nil
+}
+
+// copyLintModule copies the lintable slice of the module — go.mod and every
+// .go file outside skipped trees — into a fresh temp directory.
+func copyLintModule(root string) (string, error) {
+	dst, err := os.MkdirTemp("", "blocktri-lint-perf-")
+	if err != nil {
+		return "", err
+	}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path == root {
+				return nil
+			}
+			if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			switch name {
+			case "testdata", "vendor", "results", "reports", "docs", "scripts":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if name != "go.mod" && (!strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go")) {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
+	if err != nil {
+		os.RemoveAll(dst)
+		return "", err
+	}
+	return dst, nil
 }
 
 // perfSuites lists the measured suites and their baseline files. gateAllocs
@@ -310,6 +453,12 @@ func comparePerf(base perfSuite, cur []perfEntry, gateAllocs bool) bool {
 		}
 		if gateAllocs && e.AllocsPerOp > b.AllocsPerOp {
 			status = fmt.Sprintf("ALLOC REGRESSION (%d > %d)", e.AllocsPerOp, b.AllocsPerOp)
+			ok = false
+		}
+		// The absolute ceiling is in the committed baseline, so a noisy
+		// re-baseline cannot quietly relax it.
+		if b.BudgetNs > 0 && e.NsPerOp > b.BudgetNs {
+			status = fmt.Sprintf("BUDGET EXCEEDED (%.1fms > %.0fms)", e.NsPerOp/1e6, b.BudgetNs/1e6)
 			ok = false
 		}
 		fmt.Printf("  %-16s %12.0f ns/op (base %12.0f, %+5.1f%%) %6d allocs  %s\n",

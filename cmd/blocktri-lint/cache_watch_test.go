@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Driver-level tests for the persistent cache, multi-format output and
+// watch mode. These drive run() exactly as a shell would.
+
+// syncBuffer is an io.Writer safe to read while the watch goroutine writes.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestWarmRunReplaysFromCache seeds a private cache, then checks the second
+// run hits every package and produces byte-identical output to an uncached
+// run.
+func TestWarmRunReplaysFromCache(t *testing.T) {
+	dir := t.TempDir()
+
+	var cold bytes.Buffer
+	if code := run([]string{"-no-cache", "-format", "json", "./..."}, &cold, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("uncached run exited %d", code)
+	}
+	var seed bytes.Buffer
+	if code := run([]string{"-cache-dir", dir, "-format", "json", "./..."}, &seed, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("seed run exited %d", code)
+	}
+	var warm, stderr bytes.Buffer
+	start := time.Now()
+	code := run([]string{"-cache-dir", dir, "-format", "json", "-stats", "./..."}, &warm, &stderr)
+	elapsed := time.Since(start)
+	if code != 0 {
+		t.Fatalf("warm run exited %d\nstderr:\n%s", code, stderr.String())
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Fatalf("warm JSON differs from uncached cold JSON:\ncold:\n%s\nwarm:\n%s", cold.String(), warm.String())
+	}
+	if !strings.Contains(stderr.String(), " 0 miss(es)") {
+		t.Fatalf("warm run was not fully warm:\n%s", stderr.String())
+	}
+	// The acceptance budget is 200ms for a warm full-repo run; in practice it
+	// is ~15ms. Skip the timing check under the race detector.
+	if !raceEnabled && elapsed > 200*time.Millisecond {
+		t.Fatalf("warm run took %v, budget is 200ms", elapsed)
+	}
+}
+
+// TestMultiFormatWithSarifOut checks the single-invocation CI shape: text on
+// stdout for gating, SARIF to a file for archiving.
+func TestMultiFormatWithSarifOut(t *testing.T) {
+	sarifPath := filepath.Join(t.TempDir(), "reports", "lint.sarif")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-no-cache", "-format", "text,sarif", "-sarif-out", sarifPath, "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, stderr.String())
+	}
+	if out := strings.TrimSpace(stdout.String()); out != "" {
+		t.Fatalf("expected no text findings on a clean tree, got:\n%s", out)
+	}
+	data, err := os.ReadFile(sarifPath)
+	if err != nil {
+		t.Fatalf("SARIF file not written: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []any  `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF file is not JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected SARIF shape: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+}
+
+// TestFormatFlagValidation guards the stream-conflict rules.
+func TestFormatFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"sarif-out without sarif", []string{"-format", "text", "-sarif-out", "x.sarif", "./..."}, "-sarif-out requires sarif"},
+		{"multi-format sarif without sarif-out", []string{"-format", "text,sarif", "./..."}, "requires -sarif-out"},
+		{"watch with json", []string{"-watch", "-format", "json", "./..."}, "-watch supports only -format text"},
+		{"unknown in list", []string{"-format", "text,xml", "./..."}, "unknown format"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("expected exit 2, got %d\nstderr:\n%s", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Fatalf("stderr missing %q:\n%s", tc.want, stderr.String())
+			}
+		})
+	}
+}
+
+// TestWatchSmoke is the end-to-end watch gate: start -watch on a clean temp
+// module, introduce a finding, and require the delta line to appear; then
+// fix it and require the resolution line.
+func TestWatchSmoke(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module fixturemod\n\ngo 1.22\n")
+	clean := "package p\n\n// Near is fine.\nfunc Near(p, q float64) bool { return q-p < 1e-9 && p-q < 1e-9 }\n"
+	dirty := "package p\n\n// Near compares exactly.\nfunc Near(p, q float64) bool { return p == q }\n"
+	write("p/p.go", clean)
+
+	oldWD, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	restoreWD := func() {
+		if err := os.Chdir(oldWD); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	testWatch = &watchHooks{stop: make(chan struct{}), iterated: make(chan struct{}, 64)}
+	defer func() { testWatch = nil }()
+
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-watch", "-watch-interval", "20ms", "./..."}, &stdout, &stderr)
+	}()
+
+	waitFor := func(buf *syncBuffer, substr string) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			if strings.Contains(buf.String(), substr) {
+				return
+			}
+			select {
+			case <-testWatch.iterated:
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+		close(testWatch.stop)
+		<-done
+		restoreWD()
+		t.Fatalf("timed out waiting for %q\nstdout:\n%s\nstderr:\n%s", substr, stdout.String(), stderr.String())
+	}
+
+	waitFor(&stderr, "watching")
+	write("p/p.go", dirty)
+	waitFor(&stdout, "+ "+filepath.Join("p", "p.go"))
+	write("p/p.go", clean)
+	waitFor(&stdout, "- "+filepath.Join("p", "p.go"))
+
+	close(testWatch.stop)
+	code := <-done
+	restoreWD()
+	if code != 0 {
+		t.Fatalf("watch exited %d\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "watch stopped") {
+		t.Fatalf("missing stop message:\n%s", stderr.String())
+	}
+	// The added and resolved finding must both name floateq.
+	out := stdout.String()
+	if !strings.Contains(out, "[floateq]") {
+		t.Fatalf("delta lines missing analyzer tag:\n%s", out)
+	}
+}

@@ -52,7 +52,12 @@ type Analyzer struct {
 	Name     string
 	Doc      string
 	Severity string // SeverityError or SeverityWarning
-	Run      func(m *Module) []Finding
+	// Version participates in the persistent cache key (cache.go). Bump it
+	// whenever the analyzer's behavior changes — new checks, fixed false
+	// positives, reworded messages — so stale cached findings cannot be
+	// replayed for the new logic.
+	Version int
+	Run     func(m *Module) []Finding
 }
 
 // Analyzers returns the full analyzer suite in stable order.
@@ -100,7 +105,13 @@ func SortFindings(fs []Finding) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		// The message tiebreak makes the order canonical, so a cache-warm
+		// replay and a cold run serialize identically even when two findings
+		// share a position and analyzer.
+		return a.Message < b.Message
 	})
 }
 

@@ -34,6 +34,7 @@ var blockShapeAnalyzer = &Analyzer{
 	Name:     "blockshape",
 	Doc:      "mat call sites must be shape-conformant under symbolic block dimensions",
 	Severity: SeverityError,
+	Version:  1,
 	Run:      runBlockShape,
 }
 

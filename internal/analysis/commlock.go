@@ -25,6 +25,7 @@ var commLockAnalyzer = &Analyzer{
 	Name:     "commlock",
 	Doc:      "flag blocking comm operations while a locally acquired mutex is held",
 	Severity: SeverityError,
+	Version:  1,
 	Run:      runCommLock,
 }
 

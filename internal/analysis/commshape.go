@@ -33,6 +33,7 @@ var commShapeAnalyzer = &Analyzer{
 	Name:     "commshape",
 	Doc:      "Send(r±e, tag) inside a rank body must have a matching Recv(r∓e, tag); self-sends are flagged",
 	Severity: SeverityError,
+	Version:  1,
 	Run:      runCommShape,
 }
 

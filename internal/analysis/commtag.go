@@ -31,6 +31,7 @@ var commTagAnalyzer = &Analyzer{
 	Name:     "commtag",
 	Doc:      "cross-check constant message tags between send and receive sides",
 	Severity: SeverityWarning,
+	Version:  1,
 	Run:      runCommTag,
 }
 

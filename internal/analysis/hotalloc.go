@@ -24,6 +24,7 @@ var hotAllocAnalyzer = &Analyzer{
 	Name:     "hotalloc",
 	Doc:      "flag mat.New* allocations inside solve-phase functions of the core package",
 	Severity: SeverityWarning,
+	Version:  1,
 	Run:      runHotAlloc,
 }
 

@@ -130,26 +130,36 @@ func TestSummaryCache(t *testing.T) {
 	pkg := fixturePkg(t, fix, "fix/callgraph")
 	leaf := funcNamed(t, pkg, "leaf")
 
-	before := fix.SummaryStats()
+	before := fix.SummaryRuntime()
 	if fix.calleeSummary(leaf) == nil {
 		t.Fatal("no summary for leaf")
 	}
-	mid := fix.SummaryStats()
+	mid := fix.SummaryRuntime()
 	if fix.calleeSummary(leaf) == nil {
 		t.Fatal("no summary for leaf on second query")
 	}
-	after := fix.SummaryStats()
+	after := fix.SummaryRuntime()
 
 	// The first query summarizes the whole package, issuing recursive
 	// requests for intra-package callees along the way.
 	if mid.Requests <= before.Requests {
 		t.Errorf("first query: requests %d -> %d, want an increase", before.Requests, mid.Requests)
 	}
-	if after.CacheHits != mid.CacheHits+1 {
-		t.Errorf("second query: cache hits %d -> %d, want +1", mid.CacheHits, after.CacheHits)
+	if after.InProcessHits != mid.InProcessHits+1 {
+		t.Errorf("second query: in-process hits %d -> %d, want +1", mid.InProcessHits, after.InProcessHits)
 	}
 	if after.PackagesComputed <= before.PackagesComputed-1 {
 		t.Errorf("packages computed did not advance: %+v", after)
+	}
+	// The fixture run used no persistent cache, so nothing was loaded.
+	if after.PersistentHits != 0 || after.PackagesLoaded != 0 {
+		t.Errorf("persistent counters moved without a cache: %+v", after)
+	}
+
+	// Structural stats cover the summarized packages and are deterministic.
+	st := fix.SummaryStats()
+	if st.Functions == 0 || st.Packages == 0 {
+		t.Errorf("structural stats empty after summarization: %+v", st)
 	}
 }
 

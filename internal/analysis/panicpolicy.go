@@ -36,6 +36,7 @@ var panicPolicyAnalyzer = &Analyzer{
 	Name:     "panicpolicy",
 	Doc:      "flag panic(err), discarded factor/solve errors, and bare panics in the comm/core runtime",
 	Severity: SeverityWarning,
+	Version:  1,
 	Run:      runPanicPolicy,
 }
 

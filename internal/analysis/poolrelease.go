@@ -29,6 +29,7 @@ var poolReleaseAnalyzer = &Analyzer{
 	Name:     "poolrelease",
 	Doc:      "pooled comm payloads bound to a variable must reach Release exactly once on every path",
 	Severity: SeverityError,
+	Version:  1,
 	Run:      runPoolRelease,
 }
 

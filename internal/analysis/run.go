@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// RunLint is the incremental whole-module entry point behind the
+// blocktri-lint driver, the watch loop and the perf harness. One call:
+//
+//  1. scans the module (imports-only parses + content hashes, scan.go) and
+//     derives every package's cache key from the run configuration;
+//  2. partitions packages into cache hits (their findings, directives and
+//     summaries replay from disk) and dirty packages;
+//  3. materializes only the dirty packages — plus, transitively, their
+//     imports, which the type-checker needs — through the lazy loader;
+//  4. runs the enabled analyzers over the dirty packages only;
+//  5. merges cached and fresh results in scan order, persists fresh entries,
+//     and sweeps stale cache files.
+//
+// On an unchanged tree every package hits and step 3–4 do no work at all:
+// no file is fully parsed, nothing is type-checked, and the run cost is the
+// scan plus entry reads. The merged findings are byte-identical to a cold
+// run's because entries store raw pre-suppression findings and directives,
+// and suppression filtering replays over the merged sets.
+//
+// Fixture loading (Module.LoadFixture) and eager loading (LoadModule) are
+// untouched side doors: analyzer unit tests and the cold perf benchmarks
+// use them directly and never see the cache.
+
+// RunOptions configures one RunLint call.
+type RunOptions struct {
+	// Analyzers is the enabled analyzer set in suite order. Names and
+	// versions participate in the cache key.
+	Analyzers []*Analyzer
+	// NoInterp disables the interprocedural layer (also keyed).
+	NoInterp bool
+	// CacheDir is the persistent cache directory; "" disables persistence
+	// entirely (every run is cold, nothing is written).
+	CacheDir string
+}
+
+// AnalyzerTiming is one analyzer's wall-clock cost over the dirty packages.
+type AnalyzerTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
+// CacheStats describes what the persistent cache did during one run.
+type CacheStats struct {
+	// Enabled reports whether a usable cache directory was attached.
+	Enabled bool
+	Dir     string
+	// Degraded carries the reason when a requested cache could not be
+	// opened (the run proceeded cold).
+	Degraded string
+	// Packages is the number of packages in the module scan;
+	// Hits replayed from disk, Misses were (re)analyzed.
+	Packages int
+	Hits     int
+	Misses   int
+	// Evicted counts stale cache files swept after the run; WriteErrors
+	// counts entries that could not be persisted (best-effort, never fatal).
+	Evicted     int
+	WriteErrors int
+}
+
+// RunResult is the outcome of one RunLint call.
+type RunResult struct {
+	Root string
+	// Raw holds the merged raw (pre-suppression) findings of every package,
+	// sorted canonically. The driver applies FilterSuppressed and the
+	// directive audit.
+	Raw []Finding
+	// Sup is the merged suppression-directive set of the whole module.
+	Sup *Suppressions
+	// Timings lists per-analyzer wall time over the dirty packages (zero
+	// work on a fully warm run).
+	Timings []AnalyzerTiming
+	// Summary is the deterministic structural description of the
+	// interprocedural layer over the whole module — identical for cold,
+	// warm and incremental runs of the same tree and configuration.
+	Summary SummaryStats
+	// Runtime is how summary lookups were served this run (in-process vs
+	// persistent vs computed).
+	Runtime SummaryRuntime
+	Cache   CacheStats
+}
+
+// runConfigHash digests everything outside the tree that affects findings:
+// the cache schema, the toolchain, the interprocedural switch, and the
+// enabled analyzer set with per-analyzer versions. It seeds every package
+// key (scan.computeKeys) and prefixes every cache filename.
+func runConfigHash(opts RunOptions) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "schema\x00%d\x00go\x00%s\x00interp\x00%t\x00", cacheSchemaVersion, runtime.Version(), !opts.NoInterp)
+	for _, a := range opts.Analyzers {
+		fmt.Fprintf(h, "analyzer\x00%s\x00%d\x00", a.Name, a.Version)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// RunLint lints the module rooted at root under the given options.
+func RunLint(root string, opts RunOptions) (*RunResult, error) {
+	m, err := newLazyModule(root)
+	if err != nil {
+		return nil, err
+	}
+	m.NoInterp = opts.NoInterp
+	sc := m.scan
+	config := runConfigHash(opts)
+	sc.computeKeys(config)
+
+	res := &RunResult{Root: sc.Root}
+	res.Cache.Packages = len(sc.Pkgs)
+
+	var c *cache
+	if opts.CacheDir != "" {
+		res.Cache.Dir = opts.CacheDir
+		if cc, err := openCache(opts.CacheDir, config); err != nil {
+			// An unusable cache directory degrades to a cold uncached run;
+			// it must never fail the lint.
+			res.Cache.Degraded = err.Error()
+		} else {
+			c = cc
+			res.Cache.Enabled = true
+		}
+	}
+
+	// Partition: a package whose entry validates replays from disk; its key
+	// already covers its whole import closure, so a hit needs no further
+	// checks. Everything else is dirty.
+	entries := make(map[string]*cacheEntry)
+	var dirty []*scanPackage
+	for _, sp := range sc.Pkgs {
+		if c != nil {
+			if e, ok := c.load(sp); ok {
+				entries[sp.Path] = e
+				res.Cache.Hits++
+				continue
+			}
+		}
+		dirty = append(dirty, sp)
+		res.Cache.Misses++
+	}
+
+	// Clean packages materialized as dependencies of dirty ones rehydrate
+	// their summaries from their entries instead of recomputing.
+	if c != nil {
+		m.sumLoader = func(pkg *Package) (pkgSummaries, SummaryStats, bool) {
+			e, ok := entries[pkg.Path]
+			if !ok {
+				return nil, SummaryStats{}, false
+			}
+			return decodeSummaries(pkg, e)
+		}
+	}
+
+	// Materialize the dirty packages and their import closures.
+	for _, sp := range dirty {
+		if _, err := m.ensurePackage(sp.Path); err != nil {
+			return nil, err
+		}
+	}
+
+	// Analyzers and suppression collection must scan only the dirty
+	// packages — clean ones replay from their entries. Their clean imports
+	// stay on the loader for type information and summary resolution.
+	dirtySet := make(map[string]bool, len(dirty))
+	for _, sp := range dirty {
+		dirtySet[sp.Path] = true
+	}
+	byPath := make(map[string]*Package, len(m.Pkgs))
+	analyzed := make([]*Package, 0, len(dirty))
+	for _, p := range m.Pkgs {
+		byPath[p.Path] = p
+		if dirtySet[p.Path] {
+			analyzed = append(analyzed, p)
+		}
+	}
+	m.Pkgs = analyzed
+
+	// Fresh findings, attributed to packages by file (scan.go indexed every
+	// file; analyzers only ever report inside the package they scan).
+	fileToPkg := make(map[string]string)
+	for _, sp := range sc.Pkgs {
+		for _, f := range sp.Files {
+			fileToPkg[f.Name] = sp.Path
+		}
+	}
+	fresh := make(map[string][]Finding, len(dirty))
+	for _, a := range opts.Analyzers {
+		start := time.Now()
+		for _, f := range a.Run(m) {
+			path := fileToPkg[f.Pos.Filename]
+			fresh[path] = append(fresh[path], f)
+		}
+		res.Timings = append(res.Timings, AnalyzerTiming{Name: a.Name, Duration: time.Since(start)})
+	}
+
+	// Per-package directives: fresh for dirty packages, replayed for clean
+	// ones; merged in scan order so marking behaves exactly like a cold run.
+	res.Sup = newSuppressions()
+	freshSup := make(map[string]*Suppressions, len(dirty))
+	for _, sp := range dirty {
+		ps := newSuppressions()
+		ps.collectPackage(m.Fset, byPath[sp.Path])
+		freshSup[sp.Path] = ps
+	}
+	for _, sp := range sc.Pkgs {
+		if e := entries[sp.Path]; e != nil {
+			for _, d := range e.Directives {
+				res.Sup.add(decodePos(sc.Root, d.File, d.Offset, d.Line, d.Col), d.Name)
+			}
+			continue
+		}
+		for _, d := range freshSup[sp.Path].all {
+			res.Sup.add(d.pos, d.name)
+		}
+	}
+
+	// Merge findings and the structural summary totals in scan order, and
+	// build + persist entries for the dirty packages.
+	expected := make(map[string]bool, len(sc.Pkgs))
+	for _, sp := range sc.Pkgs {
+		if c != nil {
+			expected[c.entryFileName(sp.Path)] = true
+		}
+		e := entries[sp.Path]
+		if e == nil {
+			pkg := byPath[sp.Path]
+			e = &cacheEntry{
+				Schema:     cacheSchemaVersion,
+				Key:        sp.Key,
+				Path:       sp.Path,
+				Findings:   encodeFindings(sc.Root, fresh[sp.Path]),
+				Directives: encodeDirectives(sc.Root, freshSup[sp.Path]),
+			}
+			if !opts.NoInterp {
+				e.Summary = m.pkgSummaryStats(pkg)
+				l := m.loader
+				e.Funcs = encodeSummaries(l.sums[pkg])
+				e.CallGraph = l.sumPkgSCCs[pkg]
+			}
+			if c != nil {
+				if err := c.store(e); err != nil {
+					res.Cache.WriteErrors++
+				}
+			}
+			res.Raw = append(res.Raw, fresh[sp.Path]...)
+		} else {
+			res.Raw = append(res.Raw, decodeFindings(sc.Root, e.Findings)...)
+		}
+		res.Summary.add(e.Summary)
+	}
+	// Findings that could not be attributed to any scanned package (none of
+	// the shipped analyzers produce these; belt and braces).
+	res.Raw = append(res.Raw, fresh[""]...)
+	SortFindings(res.Raw)
+
+	if c != nil {
+		res.Cache.Evicted = c.sweep(expected)
+	}
+	res.Runtime = m.SummaryRuntime()
+	return res, nil
+}

@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lazy module scanner.
+//
+// scanModule is the cheap front half of a lint run: it walks the module
+// tree, reads every non-test .go file, hashes its content, and parses ONLY
+// the package clause and import block (parser.ImportsOnly). That is enough
+// to build the package dependency DAG and a content-addressed cache key per
+// package — without type-checking anything. The expensive back half
+// (parse with comments + type-check, in load.go) then runs per package, on
+// demand, only when the persistent cache (cache.go) misses.
+//
+// The scan keeps each file's bytes so that the later full parse sees exactly
+// the content that was hashed: a file modified between scan and load cannot
+// smuggle new findings under an old cache key within one run.
+
+// scanFile is one source file of a scanned package.
+type scanFile struct {
+	Name string // absolute path
+	Rel  string // path relative to the module root (cache-stable)
+	Src  []byte // file content as hashed
+	Hash string // hex sha256 of Src
+}
+
+// scanPackage is the pre-type-check view of one package: enough to compute
+// its cache key and to load it lazily later.
+type scanPackage struct {
+	Path    string // import path
+	Dir     string // absolute directory
+	PkgName string // package clause name
+	Files   []scanFile
+	Deps    []string // module-local imports, sorted, deduplicated
+	Key     string   // cache key; filled by computeKeys once the run config is known
+}
+
+// moduleScan is the dependency-ordered scan of a whole module.
+type moduleScan struct {
+	Root      string
+	ModPath   string
+	GoModHash string
+	Pkgs      []*scanPackage // topological order, dependencies first
+	ByPath    map[string]*scanPackage
+}
+
+// scanModule walks the module under root and returns its packages in
+// dependency order. Only import blocks are parsed; full parsing and
+// type-checking are deferred to Module.ensurePackage.
+func scanModule(root string) (*moduleScan, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	goMod, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	sc := &moduleScan{
+		Root:      root,
+		ModPath:   modPath,
+		GoModHash: hashBytes(goMod),
+		ByPath:    make(map[string]*scanPackage),
+	}
+
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != root && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		files, err := goFilesIn(path)
+		if err != nil {
+			return err
+		}
+		if len(files) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	// ImportsOnly parses stop right after the import block, so a whole-file
+	// scan costs little more than reading the bytes (which the hash needs
+	// anyway). A throwaway FileSet keeps the real one clean for the full
+	// parses later.
+	scanFset := token.NewFileSet()
+	var paths []string
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		sp := &scanPackage{Path: importPath, Dir: dir}
+		names, err := goFilesIn(dir)
+		if err != nil {
+			return nil, err
+		}
+		depSet := make(map[string]bool)
+		for _, name := range names {
+			src, err := os.ReadFile(name)
+			if err != nil {
+				return nil, err
+			}
+			relName, err := filepath.Rel(root, name)
+			if err != nil {
+				return nil, err
+			}
+			f, err := parser.ParseFile(scanFset, name, src, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			if sp.PkgName == "" {
+				sp.PkgName = f.Name.Name
+			} else if f.Name.Name != sp.PkgName {
+				return nil, fmt.Errorf("analysis: %s: mixed packages %s and %s", dir, sp.PkgName, f.Name.Name)
+			}
+			sp.Files = append(sp.Files, scanFile{
+				Name: name,
+				Rel:  filepath.ToSlash(relName),
+				Src:  src,
+				Hash: hashBytes(src),
+			})
+			for _, imp := range f.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					depSet[ip] = true
+				}
+			}
+		}
+		for dep := range depSet {
+			sp.Deps = append(sp.Deps, dep)
+		}
+		sort.Strings(sp.Deps)
+		sc.ByPath[importPath] = sp
+		paths = append(paths, importPath)
+	}
+
+	// Topological sort by module-local imports (DFS, cycle detection) —
+	// identical diagnostics to the eager loader this replaces.
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int)
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		state[path] = visiting
+		sp := sc.ByPath[path]
+		if sp == nil {
+			return fmt.Errorf("analysis: package %s imported but not found in module", path)
+		}
+		for _, dep := range sp.Deps {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		sc.Pkgs = append(sc.Pkgs, sp)
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return sc, nil
+}
+
+// computeKeys derives each package's cache key, bottom-up over the
+// dependency DAG. A key covers:
+//
+//   - the run configuration (cache schema, toolchain, analyzer set with
+//     per-analyzer versions, driver flags) — config, prepared by the caller;
+//   - the go.mod content (module path changes rename every import path);
+//   - the package's import path and the name + content hash of every file;
+//   - the keys of its direct module-local dependencies.
+//
+// The dependency-key chaining makes invalidation transitive by
+// construction: editing one file changes that package's key and, through
+// the chained digests, the key of every package that imports it — and of
+// nothing else.
+func (sc *moduleScan) computeKeys(config string) {
+	for _, sp := range sc.Pkgs {
+		h := sha256.New()
+		fmt.Fprintf(h, "config\x00%s\x00gomod\x00%s\x00pkg\x00%s\x00", config, sc.GoModHash, sp.Path)
+		for _, f := range sp.Files {
+			fmt.Fprintf(h, "file\x00%s\x00%s\x00", f.Rel, f.Hash)
+		}
+		for _, dep := range sp.Deps {
+			fmt.Fprintf(h, "dep\x00%s\x00%s\x00", dep, sc.ByPath[dep].Key)
+		}
+		sp.Key = hex.EncodeToString(h.Sum(nil))
+	}
+}
+
+// reverseClosure returns the import paths of the given packages plus every
+// package that transitively imports one of them.
+func (sc *moduleScan) reverseClosure(paths []string) map[string]bool {
+	dirty := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		dirty[p] = true
+	}
+	// Pkgs is in topological order (dependencies first), so one forward
+	// sweep propagates dirtiness to all reverse dependencies.
+	for _, sp := range sc.Pkgs {
+		if dirty[sp.Path] {
+			continue
+		}
+		for _, dep := range sp.Deps {
+			if dirty[dep] {
+				dirty[sp.Path] = true
+				break
+			}
+		}
+	}
+	return dirty
+}
+
+func hashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// WatchSignature is the cheap change probe behind the driver's -watch mode:
+// a digest over the name, size and mtime of every non-test .go file (plus
+// go.mod) that a scan would visit. It reads no file contents, so polling it
+// costs directory walks and stats only; when it changes, the watcher runs a
+// full lint, whose content hashes then decide what actually needs
+// re-analysis (a touch that leaves bytes unchanged re-lints entirely from
+// cache).
+func WatchSignature(root string) (string, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	stamp := func(path string) error {
+		fi, err := os.Stat(path)
+		if err != nil {
+			// A file disappearing mid-walk is itself a change; fold the
+			// error into the signature rather than failing the poll.
+			fmt.Fprintf(h, "gone\x00%s\x00", path)
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00%s\x00", filepath.ToSlash(rel), fi.Size(), strconv.FormatInt(fi.ModTime().UnixNano(), 10))
+		return nil
+	}
+	if err := stamp(filepath.Join(root, "go.mod")); err != nil {
+		return "", err
+	}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		return stamp(path)
+	})
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -130,24 +130,62 @@ func (d sumDims) equal(o sumDims) bool {
 	return d.Rows.equal(o.Rows) && d.Cols.equal(o.Cols)
 }
 
-// SummaryStats are the deterministic counters the driver reports under
-// `-format json`.
+// SummaryStats are the structural counters of the interprocedural layer:
+// how many functions, call edges and SCCs the summarized packages contain
+// and how many fixpoint rounds their recursive SCCs took. They are a pure
+// function of package content — no run dynamics — which is what lets the
+// persistent cache (cache.go) store them per package and the driver report
+// module totals under `-format json` that are byte-identical between cold
+// and cache-warm runs.
 type SummaryStats struct {
 	Functions          int `json:"functions"`
 	CallEdges          int `json:"call_edges"`
 	SCCs               int `json:"sccs"`
 	LargestSCC         int `json:"largest_scc"`
 	FixpointIterations int `json:"fixpoint_iterations"`
-	PackagesComputed   int `json:"packages_computed"`
-	Requests           int `json:"summary_requests"`
-	CacheHits          int `json:"summary_cache_hits"`
+	Packages           int `json:"packages"`
+}
+
+// add folds another package's structural counters into the totals.
+func (s *SummaryStats) add(o SummaryStats) {
+	s.Functions += o.Functions
+	s.CallEdges += o.CallEdges
+	s.SCCs += o.SCCs
+	if o.LargestSCC > s.LargestSCC {
+		s.LargestSCC = o.LargestSCC
+	}
+	s.FixpointIterations += o.FixpointIterations
+	s.Packages += o.Packages
+}
+
+// SummaryRuntime are the per-process request counters: how summary lookups
+// were served during this run. Unlike SummaryStats they depend on what the
+// run actually did (which packages were dirty, what was already in memory),
+// so the driver reports them under -stats, never in the pinned JSON report.
+type SummaryRuntime struct {
+	// Requests counts calleeSummary lookups.
+	Requests int
+	// InProcessHits: served from the loader's in-memory per-package map.
+	InProcessHits int
+	// PersistentHits: the lookup that pulled a package's summaries out of
+	// the on-disk cache (subsequent lookups of the same package are
+	// in-process hits).
+	PersistentHits int
+	// PackagesComputed / PackagesLoaded: packages summarized from source vs
+	// deserialized from the persistent cache.
+	PackagesComputed int
+	PackagesLoaded   int
 }
 
 type pkgSummaries map[*types.Func]*FuncSummary
 
-// SummaryStats returns the loader-wide counters (shared with fixture
-// modules loaded through LoadFixture).
+// SummaryStats returns the loader-wide structural totals over every package
+// summarized or cache-loaded so far (shared with fixture modules loaded
+// through LoadFixture).
 func (m *Module) SummaryStats() SummaryStats { return m.loader.sumStats }
+
+// SummaryRuntime returns the loader-wide request counters.
+func (m *Module) SummaryRuntime() SummaryRuntime { return m.loader.sumRT }
 
 // calleeSummary resolves the summary of a statically known callee, or nil
 // when interprocedural mode is off, the callee is unknown, unsummarizable
@@ -162,11 +200,20 @@ func (m *Module) calleeSummary(f *types.Func) *FuncSummary {
 		return nil
 	}
 	l := m.loader
-	l.sumStats.Requests++
+	l.sumRT.Requests++
 	sums, ok := l.sums[pkg]
 	if ok {
-		l.sumStats.CacheHits++
-	} else {
+		l.sumRT.InProcessHits++
+	} else if m.sumLoader != nil {
+		if loaded, st, hit := m.sumLoader(pkg); hit {
+			sums, ok = loaded, true
+			l.sums[pkg] = sums
+			l.recordPkgStats(pkg, st)
+			l.sumRT.PersistentHits++
+			l.sumRT.PackagesLoaded++
+		}
+	}
+	if !ok {
 		sums = m.summarizePackage(pkg)
 	}
 	return sums[f]
@@ -195,14 +242,26 @@ func (m *Module) summarizePackage(pkg *Package) pkgSummaries {
 	g := buildCallGraph(pkg)
 	sums := make(pkgSummaries, len(g.Nodes))
 	l.sums[pkg] = sums
-	l.sumStats.PackagesComputed++
-	l.sumStats.Functions += len(g.Nodes)
-	l.sumStats.CallEdges += g.Edges
-	l.sumStats.SCCs += len(g.SCCs)
+	l.sumRT.PackagesComputed++
+	st := SummaryStats{
+		Packages:  1,
+		Functions: len(g.Nodes),
+		CallEdges: g.Edges,
+		SCCs:      len(g.SCCs),
+	}
+	sccNames := make([][]string, 0, len(g.SCCs))
+	for _, scc := range g.SCCs {
+		names := make([]string, len(scc))
+		for i, n := range scc {
+			names[i] = funcID(n.Obj)
+		}
+		sccNames = append(sccNames, names)
+	}
+	l.sumPkgSCCs[pkg] = sccNames
 
 	for _, scc := range g.SCCs {
-		if len(scc) > l.sumStats.LargestSCC {
-			l.sumStats.LargestSCC = len(scc)
+		if len(scc) > st.LargestSCC {
+			st.LargestSCC = len(scc)
 		}
 		if !isRecursive(scc) {
 			if s := m.computeSummary(pkg, scc[0], sums); s != nil {
@@ -219,7 +278,7 @@ func (m *Module) summarizePackage(pkg *Package) pkgSummaries {
 		const maxIter = 16
 		converged := false
 		for iter := 0; iter < maxIter && !converged; iter++ {
-			l.sumStats.FixpointIterations++
+			st.FixpointIterations++
 			converged = true
 			for _, n := range scc {
 				next := m.computeSummary(pkg, n, sums)
@@ -238,7 +297,21 @@ func (m *Module) summarizePackage(pkg *Package) pkgSummaries {
 			}
 		}
 	}
+	l.recordPkgStats(pkg, st)
 	return sums
+}
+
+// pkgSummaryStats forces pkg's summaries into existence (computing them if
+// no lookup has yet) and returns the package's structural counters. RunLint
+// uses it to give every analyzed package a deterministic stats contribution
+// for its cache entry, whether or not an analyzer happened to request a
+// summary from it.
+func (m *Module) pkgSummaryStats(pkg *Package) SummaryStats {
+	l := m.loader
+	if _, ok := l.sums[pkg]; !ok {
+		m.summarizePackage(pkg)
+	}
+	return l.sumPkgStats[pkg]
 }
 
 func signatureOf(f *types.Func) *types.Signature {

@@ -47,42 +47,59 @@ type Suppressions struct {
 	all []*directive
 }
 
+func newSuppressions() *Suppressions {
+	return &Suppressions{byFile: make(map[string]map[int]map[string]*directive)}
+}
+
 // CollectSuppressions scans every comment in the module for lint:ignore
 // directives.
 func CollectSuppressions(m *Module) *Suppressions {
-	s := &Suppressions{byFile: make(map[string]map[int]map[string]*directive)}
+	s := newSuppressions()
 	for _, pkg := range m.Pkgs {
-		for _, file := range pkg.Files {
-			for _, cg := range file.Comments {
-				for _, c := range cg.List {
-					names, ok := parseIgnore(c.Text)
-					if !ok {
-						continue
-					}
-					pos := m.Fset.Position(c.Pos())
-					lines := s.byFile[pos.Filename]
-					if lines == nil {
-						lines = make(map[int]map[string]*directive)
-						s.byFile[pos.Filename] = lines
-					}
-					set := lines[pos.Line]
-					if set == nil {
-						set = make(map[string]*directive)
-						lines[pos.Line] = set
-					}
-					for _, n := range names {
-						if set[n] != nil {
-							continue // duplicate name on the same line
-						}
-						d := &directive{pos: pos, name: n}
-						set[n] = d
-						s.all = append(s.all, d)
-					}
+		s.collectPackage(m.Fset, pkg)
+	}
+	return s
+}
+
+// collectPackage scans one package's comments. RunLint uses it to collect
+// directives per dirty package (so each cache entry carries exactly its own
+// package's directives) and add replays cached ones.
+func (s *Suppressions) collectPackage(fset *token.FileSet, pkg *Package) {
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				names, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, n := range names {
+					s.add(pos, n)
 				}
 			}
 		}
 	}
-	return s
+}
+
+// add records one directive, deduplicating repeated names on a line exactly
+// like collection from source does.
+func (s *Suppressions) add(pos token.Position, name string) {
+	lines := s.byFile[pos.Filename]
+	if lines == nil {
+		lines = make(map[int]map[string]*directive)
+		s.byFile[pos.Filename] = lines
+	}
+	set := lines[pos.Line]
+	if set == nil {
+		set = make(map[string]*directive)
+		lines[pos.Line] = set
+	}
+	if set[name] != nil {
+		return // duplicate name on the same line
+	}
+	d := &directive{pos: pos, name: name}
+	set[name] = d
+	s.all = append(s.all, d)
 }
 
 // parseIgnore extracts the analyzer names from a lint:ignore comment.
