@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-cold lint-sarif lint-stats lint-watch test race bench bench-baseline bench-compare verify chaos chaos-soak experiments experiments-quick ci clean
+.PHONY: all build vet lint lint-cold lint-sarif lint-stats lint-watch test race bench bench-panel bench-baseline bench-compare verify chaos chaos-soak experiments experiments-quick ci clean
 
 all: build vet lint test
 
@@ -45,6 +45,12 @@ ci:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The panelized solve-phase hot paths only: the batched ARD solve
+# (R in {1, 64, 256}) and the GEMM kernel across the dispatch tiers,
+# including the skinny M x R panel shapes the solve actually issues.
+bench-panel:
+	$(GO) test -run '^$$' -bench 'BenchmarkARDSolve|BenchmarkKernelGEMM' -benchmem .
 
 # Refresh the committed perf baselines (BENCH_*.json) after an intentional
 # performance change; ci compares against them and fails on regression.

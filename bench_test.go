@@ -289,15 +289,25 @@ func BenchmarkE11_SpikeVsARD(b *testing.B) {
 }
 
 // Substrate microbenchmarks: the dense kernels every solver sits on.
+// Square shapes cover the dispatch tiers; the m=32,k=32 skinny panels are
+// the shapes the panelized ARD solve phase issues per transfer half.
 func BenchmarkKernelGEMM(b *testing.B) {
-	for _, n := range []int{16, 32, 64, 128} {
+	shapes := []struct{ m, k, n int }{
+		{16, 16, 16}, {32, 32, 32}, {64, 64, 64}, {128, 128, 128},
+		{32, 32, 64}, {32, 32, 256},
+	}
+	for _, sh := range shapes {
 		rng := rand.New(rand.NewSource(12))
-		x, y, z := mat.Random(n, n, rng), mat.Random(n, n, rng), mat.New(n, n)
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+		x, y, z := mat.Random(sh.m, sh.k, rng), mat.Random(sh.k, sh.n, rng), mat.New(sh.m, sh.n)
+		name := fmt.Sprintf("n=%d", sh.n)
+		if sh.m != sh.n {
+			name = fmt.Sprintf("m=%d,k=%d,n=%d", sh.m, sh.k, sh.n)
+		}
+		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				mat.Mul(z, x, y)
 			}
-			b.ReportMetric(2*float64(n)*float64(n)*float64(n), "flops/op")
+			b.ReportMetric(2*float64(sh.m)*float64(sh.k)*float64(sh.n), "flops/op")
 		})
 	}
 }
@@ -365,8 +375,8 @@ func BenchmarkE13_Landscape(b *testing.B) {
 // BenchmarkARDSolve is the perf-regression anchor for the allocation-free
 // solve path (cmd/blocktri-bench -perf tracks the same configuration): the
 // headline N=512, M=16, P=8 system solved into a reused destination for a
-// single right-hand side and for a batch of 64. After the warm-up solve the
-// path performs zero heap allocations per op.
+// single right-hand side and for panelized batches of 64 and 256. After the
+// warm-up solve the path performs zero heap allocations per op.
 func BenchmarkARDSolve(b *testing.B) {
 	defer quietKernels()()
 	a := benchMatrix(512, 16)
@@ -374,7 +384,7 @@ func BenchmarkARDSolve(b *testing.B) {
 	if err := ard.Factor(); err != nil {
 		b.Fatal(err)
 	}
-	for _, r := range []int{1, 64} {
+	for _, r := range []int{1, 64, 256} {
 		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
 			rhs := benchRHS(a, r, 2)
 			x := blocktri.NewDenseMatrix(rhs.Rows, rhs.Cols)

@@ -79,7 +79,7 @@ func measureARDSolve() ([]perfEntry, error) {
 		return nil, fmt.Errorf("ARD factor: %v", err)
 	}
 	var entries []perfEntry
-	for _, r := range []int{1, 64} {
+	for _, r := range []int{1, 64, 256} {
 		rhs := a.RandomRHS(r, rand.New(rand.NewSource(2)))
 		x := blocktri.NewDenseMatrix(rhs.Rows, rhs.Cols)
 		if err := ard.SolveTo(x, rhs); err != nil { // warm the arenas
@@ -104,18 +104,36 @@ func measureARDSolve() ([]perfEntry, error) {
 	return entries, nil
 }
 
-// measureGEMM benchmarks square Mul across the kernel dispatch tiers: plain
-// tiled (16, 32), packed micro-kernel (64, 128).
+// measureGEMM benchmarks Mul across the kernel dispatch tiers: square
+// shapes for plain tiled (16, 32) and the packed register-blocked kernel
+// (64, 128), plus the skinny-panel shapes the panelized ARD solve phase
+// actually issues — a 32x32 transfer half against a 32xR right-hand-side
+// panel.
 func measureGEMM() ([]perfEntry, error) {
 	var entries []perfEntry
-	for _, n := range []int{16, 32, 64, 128} {
-		a := mat.New(n, n)
-		bm := mat.New(n, n)
-		dst := mat.New(n, n)
-		rng := rand.New(rand.NewSource(int64(n)))
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
+	shapes := []struct {
+		m, k, n int
+		name    string
+	}{
+		{16, 16, 16, "GEMM/n=16"},
+		{32, 32, 32, "GEMM/n=32"},
+		{64, 64, 64, "GEMM/n=64"},
+		{128, 128, 128, "GEMM/n=128"},
+		{32, 32, 64, "GEMM/m=32,k=32,n=64"},
+		{32, 32, 256, "GEMM/m=32,k=32,n=256"},
+	}
+	for _, sh := range shapes {
+		a := mat.New(sh.m, sh.k)
+		bm := mat.New(sh.k, sh.n)
+		dst := mat.New(sh.m, sh.n)
+		rng := rand.New(rand.NewSource(int64(sh.m + sh.k + sh.n)))
+		for i := 0; i < sh.m; i++ {
+			for j := 0; j < sh.k; j++ {
 				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		for i := 0; i < sh.k; i++ {
+			for j := 0; j < sh.n; j++ {
 				bm.Set(i, j, rng.NormFloat64())
 			}
 		}
@@ -126,9 +144,9 @@ func measureGEMM() ([]perfEntry, error) {
 				mat.Mul(dst, a, bm)
 			}
 		})
-		flops := 2 * float64(n) * float64(n) * float64(n)
+		flops := 2 * float64(sh.m) * float64(sh.k) * float64(sh.n)
 		entries = append(entries, perfEntry{
-			Name:        fmt.Sprintf("GEMM/n=%d", n),
+			Name:        sh.name,
 			NsPerOp:     float64(res.NsPerOp()),
 			AllocsPerOp: res.AllocsPerOp(),
 			GFlops:      flops / float64(res.NsPerOp()),

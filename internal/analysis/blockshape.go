@@ -34,7 +34,7 @@ var blockShapeAnalyzer = &Analyzer{
 	Name:     "blockshape",
 	Doc:      "mat call sites must be shape-conformant under symbolic block dimensions",
 	Severity: SeverityError,
-	Version:  1,
+	Version:  2,
 	Run:      runBlockShape,
 }
 
@@ -63,10 +63,13 @@ const (
 	avInt
 	avMat
 	avFac
+	avPack
 )
 
 // absVal is the abstract value of one tracked variable: an int as a term,
-// a matrix as a (rows, cols) term pair, or a factorization as its order.
+// a matrix as a (rows, cols) term pair, a factorization as its order, or a
+// packed A-panel as its (Rows(), K()) pair — stored in the rows/cols slots,
+// since a PackedA is just the frozen shape of the matrix it packed.
 type absVal struct {
 	kind       absKind
 	x          locTerm // avInt
@@ -339,6 +342,8 @@ func (bs *bsEval) evalTyped(env shapeEnv, e ast.Expr, t types.Type, depth int) a
 		if n := bs.evalFac(env, e, depth); n.Known {
 			return absVal{kind: avFac, n: n}
 		}
+	case isPackedA(t):
+		return bs.evalPack(env, e, depth)
 	}
 	return absVal{}
 }
@@ -363,6 +368,11 @@ func (bs *bsEval) evalCallResult0(env shapeEnv, call *ast.CallExpr, depth int) a
 func isFactorization(t types.Type) bool {
 	p, n := namedFrom(t)
 	return p == matPkgPath && (n == "LU" || n == "Cholesky")
+}
+
+func isPackedA(t types.Type) bool {
+	p, n := namedFrom(t)
+	return p == matPkgPath && n == "PackedA"
 }
 
 // evalInt evaluates an int expression as a term over local variables.
@@ -404,10 +414,24 @@ func (bs *bsEval) evalInt(env shapeEnv, e ast.Expr, depth int) locTerm {
 			}
 		}
 	case *ast.CallExpr:
-		// lu.N() / ch.N(): the factorization order.
-		if f := calleeFunc(info, x); f != nil && funcPkgPath(f) == matPkgPath && f.Name() == "N" {
-			if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok {
+		// lu.N() / ch.N(): the factorization order; pa.Rows() / pa.K(): the
+		// frozen dimensions of a packed A-panel.
+		if f := calleeFunc(info, x); f != nil && funcPkgPath(f) == matPkgPath {
+			sel, ok := unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				break
+			}
+			switch f.Name() {
+			case "N":
 				return bs.evalFac(env, sel.X, depth+1)
+			case "Rows":
+				if named := recvNamedType(f); named != nil && named.Obj().Name() == "PackedA" {
+					return bs.evalPack(env, sel.X, depth+1).rows
+				}
+			case "K":
+				if named := recvNamedType(f); named != nil && named.Obj().Name() == "PackedA" {
+					return bs.evalPack(env, sel.X, depth+1).cols
+				}
 			}
 		}
 	case *ast.BinaryExpr:
@@ -589,6 +613,63 @@ func (bs *bsEval) substLocalTerm(env shapeEnv, t sumTerm, call *ast.CallExpr, de
 	return out
 }
 
+// packVal returns the tracked or minted shape of a plain PackedA variable.
+// The minted variables reuse the lvRows/lvCols kinds: they denote Rows()/K()
+// of the object, with the same stability guarantee (a PackedA's dimensions
+// are frozen at pack time).
+func (bs *bsEval) packVal(env shapeEnv, obj types.Object) absVal {
+	if v, ok := env[obj]; ok && v.kind == avPack {
+		return v
+	}
+	if bs.volatile[obj] || !isPackedA(obj.Type()) {
+		return absVal{}
+	}
+	return absVal{
+		kind: avPack,
+		rows: varTerm(locVar{lvRows, obj}),
+		cols: varTerm(locVar{lvCols, obj}),
+	}
+}
+
+// evalPack evaluates a PackedA-typed expression to the symbolic shape of the
+// matrix it packed: the constructors freeze the source's (rows, cols) as the
+// panel's (Rows(), K()).
+func (bs *bsEval) evalPack(env shapeEnv, e ast.Expr, depth int) absVal {
+	if depth > bsEvalDepth {
+		return absVal{}
+	}
+	info := bs.info
+	e = unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := objOf(info, x); obj != nil {
+			return bs.packVal(env, obj)
+		}
+	case *ast.CompositeLit:
+		// mat.PackedA{} is the legacy sentinel: no shape claims.
+		return absVal{}
+	case *ast.CallExpr:
+		f := calleeFunc(info, x)
+		if f == nil || funcPkgPath(f) != matPkgPath || recvNamedType(f) != nil {
+			return absVal{}
+		}
+		var src absVal
+		switch {
+		case f.Name() == "NewPackedA" && len(x.Args) == 2:
+			src = bs.evalMat(env, x.Args[1], depth+1)
+		case f.Name() == "PackAInto" && len(x.Args) == 3:
+			src = bs.evalMat(env, x.Args[2], depth+1)
+		default:
+			return absVal{}
+		}
+		if !src.rows.Known || !src.cols.Known {
+			return absVal{}
+		}
+		return absVal{kind: avPack, rows: src.rows, cols: src.cols}
+	}
+	return absVal{}
+}
+
 // evalFac evaluates an LU/Cholesky expression to its symbolic order.
 func (bs *bsEval) evalFac(env shapeEnv, e ast.Expr, depth int) locTerm {
 	if depth > bsEvalDepth {
@@ -681,6 +762,17 @@ func (bs *bsEval) checkCall(env shapeEnv, call *ast.CallExpr) {
 		case "GEMM":
 			if len(call.Args) == 5 {
 				mulCheck(argMat(4), argMat(1), argMat(2))
+			}
+		case "MulAddPacked":
+			// dst += pack(a) * b with a pre-packed A: the panel froze a's
+			// (rows, cols) as (Rows(), K()), so the GEMM contract reads
+			// pa.K == b.Rows, dst.Rows == pa.Rows, dst.Cols == b.Cols.
+			if len(call.Args) == 4 {
+				dst, b := argMat(0), argMat(2)
+				pa := bs.evalPack(env, call.Args[1], 0)
+				cmp("pa.K", pa.cols, "b.Rows", b.rows)
+				cmp("dst.Rows", dst.rows, "pa.Rows", pa.rows)
+				cmp("dst.Cols", dst.cols, "b.Cols", b.cols)
 			}
 		case "Add", "Sub":
 			if len(call.Args) == 3 {

@@ -42,7 +42,7 @@ import (
 // cacheSchemaVersion is baked into both the entry payload and the run
 // configuration hash. Bump it whenever the entry format or the meaning of
 // any cached field changes; old entries then miss and are swept.
-const cacheSchemaVersion = 1
+const cacheSchemaVersion = 2
 
 // DefaultCacheDir returns the default persistent cache location for a
 // module root: <root>/.blocktri-lint-cache.

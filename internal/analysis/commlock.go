@@ -25,7 +25,7 @@ var commLockAnalyzer = &Analyzer{
 	Name:     "commlock",
 	Doc:      "flag blocking comm operations while a locally acquired mutex is held",
 	Severity: SeverityError,
-	Version:  1,
+	Version:  2,
 	Run:      runCommLock,
 }
 
@@ -34,7 +34,7 @@ const commPkgPath = "blocktri/internal/comm"
 // blockingCommOps are the comm.Comm / comm.Request methods (and package
 // functions) that require matching progress on another rank.
 var blockingCommOps = map[string]bool{
-	"Send": true, "Recv": true, "SendRecv": true, "Exchange": true,
+	"Send": true, "SendOwned": true, "Recv": true, "SendRecv": true, "Exchange": true,
 	"Barrier": true, "Bcast": true, "Reduce": true, "Allreduce": true,
 	"Gather": true, "Allgather": true, "ExScan": true, "Scan": true,
 	"Alltoall": true, "ReduceScatter": true, "Scatter": true,

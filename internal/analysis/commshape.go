@@ -33,7 +33,7 @@ var commShapeAnalyzer = &Analyzer{
 	Name:     "commshape",
 	Doc:      "Send(r±e, tag) inside a rank body must have a matching Recv(r∓e, tag); self-sends are flagged",
 	Severity: SeverityError,
-	Version:  1,
+	Version:  2,
 	Run:      runCommShape,
 }
 
@@ -129,7 +129,7 @@ func commShapeFunc(rep *reporter, m *Module, info *types.Info, body *ast.BlockSt
 			return true
 		}
 		switch commMethod(info, call) {
-		case "Send", "ISend", "SendMatrix":
+		case "Send", "SendOwned", "ISend", "SendMatrix":
 			addSite(call, shapeSend, call.Args[0], call.Args[1])
 		case "Recv", "IRecv", "RecvMatrix":
 			addSite(call, shapeRecv, call.Args[0], call.Args[1])

@@ -31,7 +31,7 @@ var commTagAnalyzer = &Analyzer{
 	Name:     "commtag",
 	Doc:      "cross-check constant message tags between send and receive sides",
 	Severity: SeverityWarning,
-	Version:  1,
+	Version:  3,
 	Run:      runCommTag,
 }
 
@@ -46,6 +46,7 @@ type tagOp struct {
 
 var tagOps = map[string]tagOp{
 	"Send":             {index: 1, send: true},
+	"SendOwned":        {index: 1, send: true},
 	"ISend":            {index: 1, send: true},
 	"SendMatrix":       {index: 1, send: true},
 	"Recv":             {index: 1, recv: true},
@@ -74,7 +75,15 @@ func runCommTag(m *Module) []Finding {
 					return true
 				}
 				f := calleeFunc(pkg.Info, call)
-				if f == nil || funcPkgPath(f) != commPkgPath {
+				if f == nil {
+					return true
+				}
+				if funcPkgPath(f) != commPkgPath {
+					// A summarized helper that forwards a tag parameter to a
+					// comm op counts as a use of the caller's constant: the
+					// helper's own comm call only sees the variable, so the
+					// send/recv side of the constant lives here.
+					recordForwardedTags(p, m, pkg.Info, call, f, uses, &order)
 					return true
 				}
 				op, ok := tagOps[f.Name()]
@@ -116,6 +125,57 @@ func runCommTag(m *Module) []Finding {
 	}
 
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	recordTagFindings(p, uses, order)
+	return p.findings
+}
+
+// recordForwardedTags resolves the tag constants a caller feeds into a
+// summarized comm-bearing helper. Each summarized point-to-point site whose
+// tag is a forwarded parameter is charged to the caller's argument at that
+// position, under the same three-way classification as an inline tag:
+// constants join the module-wide cross-check, bare identifiers/selectors are
+// accepted, and computed expressions are flagged.
+func recordForwardedTags(p *pass, m *Module, info *types.Info, call *ast.CallExpr, f *types.Func, uses map[int64]*tagUse, order *[]int64) {
+	sum := m.calleeSummary(f)
+	if sum == nil || sum.CommOpaque || len(sum.Comm) == 0 {
+		return
+	}
+	for _, sc := range sum.Comm {
+		if sc.TagParam < 0 || sc.TagParam >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[sc.TagParam]
+		tv := info.Types[arg]
+		if tv.Value != nil && tv.Value.Kind() == constant.Int {
+			v, ok := constant.Int64Val(tv.Value)
+			if !ok {
+				continue
+			}
+			u := uses[v]
+			if u == nil {
+				u = &tagUse{}
+				uses[v] = u
+				*order = append(*order, v)
+			}
+			if sc.Send {
+				u.sendPos = append(u.sendPos, call.Pos())
+			} else {
+				u.recvPos = append(u.recvPos, call.Pos())
+			}
+			continue
+		}
+		switch unparen(arg).(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			// A forwarded tag variable; accepted.
+		default:
+			p.reportf(arg.Pos(),
+				"non-constant tag expression %s forwarded to comm via %s defeats static send/receive matching; use a named constant per message kind",
+				types.ExprString(arg), f.Name())
+		}
+	}
+}
+
+func recordTagFindings(p *pass, uses map[int64]*tagUse, order []int64) {
 	for _, v := range order {
 		u := uses[v]
 		switch {
@@ -127,5 +187,4 @@ func runCommTag(m *Module) []Finding {
 				"tag %d is received but never sent anywhere in the module (the receive blocks forever)", v)
 		}
 	}
-	return p.findings
 }

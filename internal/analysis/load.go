@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -164,7 +165,16 @@ func skipDir(name string) bool {
 	return false
 }
 
-// goFilesIn lists the non-test .go files in dir, sorted by name.
+// buildCtx decides which files belong to the host build. Packages with
+// per-architecture implementations (the AVX-512 GEMM kernel and its
+// portable fallback both declare the same symbols behind build tags) must
+// be filtered exactly as the go tool would, or type-checking sees the
+// declarations twice.
+var buildCtx = build.Default
+
+// goFilesIn lists the non-test .go files in dir that match the host build
+// constraints (filename GOOS/GOARCH suffixes and //go:build lines), sorted
+// by name.
 func goFilesIn(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -174,6 +184,11 @@ func goFilesIn(dir string) ([]string, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// An unreadable file is kept so the parse downstream reports the
+		// real error instead of the package silently shrinking.
+		if match, err := buildCtx.MatchFile(dir, name); err == nil && !match {
 			continue
 		}
 		out = append(out, filepath.Join(dir, name))

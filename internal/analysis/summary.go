@@ -1057,6 +1057,7 @@ type p2pArgSpec struct {
 
 var p2pSpecs = map[string]p2pArgSpec{
 	"Send":       {send: true, rankIdx: 0, tagIdx: 1},
+	"SendOwned":  {send: true, rankIdx: 0, tagIdx: 1},
 	"ISend":      {send: true, rankIdx: 0, tagIdx: 1},
 	"SendMatrix": {send: true, rankIdx: 0, tagIdx: 1},
 	"Recv":       {send: false, rankIdx: 0, tagIdx: 1},

@@ -135,3 +135,35 @@ func joinAgrees(ws *mat.Workspace, m int, flag bool) {
 	h := ws.Get(m, m)
 	mat.Mul(g, f, h) // want `mat\.Mul shape mismatch: dst\.Rows = 2\*m but a\.Rows = m`
 }
+
+// badMulAddPacked packs a (2m x 2m) transfer block and multiplies it
+// against an (m x k) panel: the pack froze a's column count as K, so the
+// inner dimensions are provably off by a factor of two.
+func badMulAddPacked(ws *mat.Workspace, m, k int) {
+	a := ws.Get(2*m, 2*m)
+	pa := mat.NewPackedA(1, a)
+	b := ws.Get(m, k)
+	dst := ws.Get(2*m, k)
+	mat.MulAddPacked(dst, pa, b, nil) // want `mat\.MulAddPacked shape mismatch: pa\.K = 2\*m but b\.Rows = m`
+}
+
+// badMulAddPackedInto is the arena variant: PackAInto freezes the same
+// shape, and the destination height disagrees with the panel height.
+func badMulAddPackedInto(ws *mat.Workspace, m, k int) {
+	a := ws.Get(m, m)
+	buf := make([]float64, mat.PackALen(m, m))
+	pa := mat.PackAInto(buf, -1, a)
+	b := ws.Get(m, k)
+	dst := ws.Get(2*m, k)
+	mat.MulAddPacked(dst, pa, b, nil) // want `mat\.MulAddPacked shape mismatch: dst\.Rows = 2\*m but pa\.Rows = m`
+}
+
+// goodMulAddPacked is the panelized solve-phase idiom done right: nothing
+// is reported, including through the Rows()/K() accessors.
+func goodMulAddPacked(ws *mat.Workspace, m, k int) {
+	a := ws.Get(m, 2*m)
+	pa := mat.NewPackedA(1, a)
+	b := ws.Get(2*m, k)
+	dst := ws.Get(pa.Rows(), k)
+	mat.MulAddPacked(dst, pa, b, nil)
+}

@@ -43,3 +43,11 @@ func solveWrapped(b *mat.Matrix) *mat.Matrix {
 	//lint:ignore hotalloc the wrapper returns a caller-owned result
 	return mat.New(b.Rows, b.Cols)
 }
+
+// solvePanel packs a transfer block on the solve path: NewPackedA allocates
+// the panel storage, so it is a finding — the factor phase should have
+// packed into an arena with PackAInto instead.
+func solvePanel(t, y *mat.Matrix) {
+	pa := mat.NewPackedA(1, t) // want `mat\.NewPackedA allocates inside solve-phase function solvePanel`
+	mat.MulAddPacked(y, pa, y, nil)
+}

@@ -638,6 +638,39 @@ func (c *Comm) Send(dst, tag int, data []float64) {
 	w.boxes[dst].put(msgKey{src: c.rank, tag: tag}, message{data: cp, bytes: nbytes})
 }
 
+// PayloadBuf checks a length-n buffer out of the world's message pool for
+// building a payload in place. Hand the filled buffer to SendOwned; the
+// pair moves one panel-sized message per scan round with a single copy
+// (source matrix into the buffer) instead of Send's encode-then-copy two.
+func (c *Comm) PayloadBuf(n int) []float64 {
+	return c.world.pool.get(n)
+}
+
+// SendOwned is Send for a payload the caller built in a PayloadBuf buffer:
+// ownership of data transfers to the comm layer, which delivers the buffer
+// itself rather than a copy. After SendOwned returns the caller must not
+// read or write data. Semantics otherwise match Send (never blocks, FIFO
+// per (source, tag), receiver may Release).
+func (c *Comm) SendOwned(dst, tag int, data []float64) {
+	w := c.world
+	if dst < 0 || dst >= w.P {
+		c.throwf(ErrInvalidRank, "comm: send to rank %d (P=%d)", dst, w.P)
+	}
+	nbytes := 8 * len(data)
+	c.stats.MsgsSent++
+	c.stats.BytesSent += int64(nbytes)
+	c.stats.SimCommTime += w.Model.MessageCost(nbytes)
+	if fs := w.faults; fs != nil {
+		c.faultPoint()
+		// The injector copies payloads into its own buffers, so the
+		// transferred buffer goes straight back to the pool here.
+		fs.send(c, dst, tag, data, nbytes)
+		w.pool.put(data)
+		return
+	}
+	w.boxes[dst].put(msgKey{src: c.rank, tag: tag}, message{data: data, bytes: nbytes})
+}
+
 // Recv blocks until a message from rank src with the given tag arrives and
 // returns its payload. The payload is owned by the caller; callers on a hot
 // path should pass it to Release after consuming it so the buffer recycles

@@ -64,12 +64,20 @@ func ComposeH(earlierH, laterS, laterH *mat.Matrix) *mat.Matrix {
 
 // composeHWS is ComposeH with the result checked out of a workspace. The
 // operations (and therefore the bits) are identical; only the storage
-// discipline differs.
-func composeHWS(ws *mat.Workspace, earlierH, laterS, laterH *mat.Matrix) *mat.Matrix {
+// discipline differs. A valid sp is laterS prepacked (ARD's factor phase
+// packs every stored S once); the packed branch seeds the result with
+// laterH and adds the product total once, which rounds identically to the
+// fallback's product-then-add because IEEE addition commutes.
+func composeHWS(ws *mat.Workspace, earlierH, laterS *mat.Matrix, sp mat.PackedA, laterH *mat.Matrix, bs []float64) *mat.Matrix {
 	if earlierH == nil {
 		return laterH
 	}
 	h := ws.GetNoClear(laterS.Rows, earlierH.Cols)
+	if sp.Valid() && mat.PanelPacked(laterS.Rows, laterS.Cols, earlierH.Cols) {
+		h.CopyFrom(laterH)
+		mat.MulAddPacked(h, sp, earlierH, bs)
+		return h
+	}
 	mat.Mul(h, laterS, earlierH)
 	mat.Add(h, h, laterH)
 	return h
@@ -123,24 +131,27 @@ func decodeSMat(p []float64) *mat.Matrix {
 	return comm.DecodeMatrix(p[1:])
 }
 
-// encodeHMatWS serializes a bare H matrix (ARD solve phase, nil = identity)
-// into workspace scratch, producing the same [flag, rows, cols, data...]
-// wire format as encodeSMat. comm.Send copies payloads, so handing the
-// scratch straight to Send is safe.
-func encodeHMatWS(ws *mat.Workspace, h *mat.Matrix) []float64 {
+// packHMat packs a bare H panel (ARD solve phase, nil = identity) into a
+// pooled comm buffer in the same [flag, rows, cols, data...] wire format as
+// encodeSMat, for the caller to hand to SendOwned. Assembling the payload
+// in the comm buffer lets each scan round move its whole 2M x R panel in
+// one message with a single copy — no workspace-scratch staging and no
+// second copy inside Send. The send stays at the call site so the rank/tag
+// pairing of the butterfly remains visible in the scan loop itself.
+func packHMat(c *comm.Comm, h *mat.Matrix) []float64 {
 	if h == nil {
-		out := ws.Floats(1)
-		out[0] = 0
-		return out
+		buf := c.PayloadBuf(1)
+		buf[0] = 0
+		return buf
 	}
-	out := ws.Floats(3 + h.Rows*h.Cols)
-	out[0], out[1], out[2] = 1, float64(h.Rows), float64(h.Cols)
+	buf := c.PayloadBuf(3 + h.Rows*h.Cols)
+	buf[0], buf[1], buf[2] = 1, float64(h.Rows), float64(h.Cols)
 	k := 3
 	for i := 0; i < h.Rows; i++ {
-		copy(out[k:k+h.Cols], h.Data[i*h.Stride:i*h.Stride+h.Cols])
+		copy(buf[k:k+h.Cols], h.Data[i*h.Stride:i*h.Stride+h.Cols])
 		k += h.Cols
 	}
-	return out
+	return buf
 }
 
 // decodeHMatWS decodes an encodeHMatWS/encodeSMat payload into workspace

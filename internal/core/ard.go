@@ -46,6 +46,13 @@ type ARD struct {
 	factorStats SolveStats
 	solveStats  SolveStats
 
+	// negDiagPack/negLowerPack hold -D_{N-1} and -L_{N-1} prepacked with
+	// alpha = -1 for the reducedRHS subtractions, completing the set of
+	// factor-time packs (see buildPacks) that turn the whole solve phase
+	// into packed panel products.
+	negDiagPack  mat.PackedA
+	negLowerPack mat.PackedA
+
 	// Persistent solve-dispatch state, built once by Factor so that SolveTo
 	// performs no heap allocation: the per-rank flop counters and a reusable
 	// Run body reading the current arguments from solveB/solveX.
@@ -56,11 +63,14 @@ type ARD struct {
 }
 
 // ardRound records one Kogge-Stone round's entry values from the factor
-// phase, consumed by the solve-phase replay.
+// phase, consumed by the solve-phase replay. The packs mirror preS/accS so
+// each replay combine is one packed panel product.
 type ardRound struct {
-	dist int
-	preS *mat.Matrix // exclusive-prefix S at round entry (nil = identity)
-	accS *mat.Matrix // inclusive-aggregate S at round entry (nil = identity)
+	dist     int
+	preS     *mat.Matrix // exclusive-prefix S at round entry (nil = identity)
+	accS     *mat.Matrix // inclusive-aggregate S at round entry (nil = identity)
+	preSPack mat.PackedA
+	accSPack mat.PackedA
 }
 
 // ardRankState is everything one rank stores between Factor and Solve.
@@ -70,6 +80,12 @@ type ardRankState struct {
 	localTotalS   *mat.Matrix // S of the local reduce (nil if no elements)
 	rounds        []ardRound
 	piS           *mat.Matrix // final exclusive cross-rank prefix S (nil = identity)
+
+	// Packed images of the stored matrices, built by buildPacks so the
+	// solve phase multiplies prepacked panels instead of repacking (or
+	// falling to the unpacked kernel) on every call.
+	localTotalSPack mat.PackedA
+	piSLeftPack     mat.PackedA // piS[:, 0:M], the applyPrefixState operand
 
 	// ws is the rank's solve-phase scratch arena; fs holds the per-element
 	// F vectors of the solve in flight (arena-backed, rewritten per solve).
@@ -138,6 +154,7 @@ func (s *ARD) Factor() error {
 		s.rk = nil
 		return runErr
 	}
+	s.buildPacks()
 	s.factored = true
 	s.factorStats = SolveStats{
 		Comm:         w.TotalStats(),
@@ -148,6 +165,46 @@ func (s *ARD) Factor() error {
 	}
 	s.factorStats.mergeRankFlops(perRank)
 	return nil
+}
+
+// buildPacks assembles the packed images of every stored factor matrix the
+// solve phase multiplies: each element's [TL TR] top half, the local scan
+// totals, the per-round Kogge-Stone snapshots, the exclusive prefix's left
+// half, and the negated last block row. Packing here — once per matrix,
+// after Factor or LoadFactor — leaves the per-solve cost at packing the
+// right-hand-side panel alone.
+func (s *ARD) buildPacks() {
+	a := s.a
+	m := a.M
+	for _, st := range s.rk {
+		if st == nil {
+			continue
+		}
+		for k := range st.elems {
+			e := &st.elems[k]
+			e.tPack = mat.NewPackedA(1, e.t.View(0, 0, m, 2*m))
+		}
+		if st.localTotalS != nil {
+			st.localTotalSPack = mat.NewPackedA(1, st.localTotalS)
+		}
+		for k := range st.rounds {
+			rd := &st.rounds[k]
+			if rd.preS != nil {
+				rd.preSPack = mat.NewPackedA(1, rd.preS)
+			}
+			if rd.accS != nil {
+				rd.accSPack = mat.NewPackedA(1, rd.accS)
+			}
+		}
+		if st.piS != nil {
+			st.piSLeftPack = mat.NewPackedA(1, st.piS.View(0, 0, 2*m, m))
+		}
+	}
+	last := a.N - 1
+	s.negDiagPack = mat.NewPackedA(-1, a.Diag[last])
+	if a.Lower[last] != nil {
+		s.negLowerPack = mat.NewPackedA(-1, a.Lower[last])
+	}
 }
 
 // storedBytes totals the factor-phase state retained across solves: the
@@ -361,6 +418,11 @@ func (s *ARD) solveRank(c *comm.Comm, b, x *mat.Matrix) int64 {
 	ws.Reset()
 	var fc flopCounter
 
+	// One panel-pack scratch serves every packed product of this solve:
+	// the largest right-hand operand anywhere in the phase is a 2M x R
+	// panel, and MulAddPacked overwrites the scratch per call.
+	bs := ws.Floats(mat.PackBLen(2*m, rhs))
+
 	// Build the F vectors for this right-hand side and fold them into the
 	// local total H using the stored transfer matrices. The fold ping-pongs
 	// between two arena buffers and applies T through its [[TL TR],[I 0]]
@@ -380,13 +442,13 @@ func (s *ARD) solveRank(c *comm.Comm, b, x *mat.Matrix) int64 {
 		fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
 		dst := hbuf[hcur]
 		hcur ^= 1
-		applyT(ws, e.t, localTotalH, fs[k], dst, m)
+		applyT(ws, e.t, e.tPack, localTotalH, fs[k], dst, m, bs)
 		localTotalH = dst
 	}
 
-	// Replay the scan on the vector halves only. Payloads are encoded into
-	// arena scratch (Send copies) and received buffers go back to the pool
-	// once decoded.
+	// Replay the scan on the vector halves only. Each round moves its whole
+	// panel in one pooled message (packHMat builds the payload in a comm
+	// buffer; received buffers go back to the pool once decoded).
 	var preH *mat.Matrix
 	if s.sched == prefix.Chain {
 		if r > 0 {
@@ -400,19 +462,19 @@ func (s *ARD) solveRank(c *comm.Comm, b, x *mat.Matrix) int64 {
 			if preH != nil {
 				if st.localTotalS != nil {
 					fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
-					incH = composeHWS(ws, preH, st.localTotalS, localTotalH)
+					incH = composeHWS(ws, preH, st.localTotalS, st.localTotalSPack, localTotalH, bs)
 				} else {
 					incH = preH
 				}
 			}
-			c.Send(r+1, tagARDSolveScan, encodeHMatWS(ws, incH))
+			c.SendOwned(r+1, tagARDSolveScan, packHMat(c, incH))
 		}
-		return s.solveFinish(c, b, x, st, localTotalH, preH, &fc)
+		return s.solveFinish(c, b, x, st, localTotalH, preH, bs, &fc)
 	}
 	accH := localTotalH
 	for _, round := range st.rounds { // Kogge-Stone replay
 		if r+round.dist < p {
-			c.Send(r+round.dist, tagARDSolveScan, encodeHMatWS(ws, accH))
+			c.SendOwned(r+round.dist, tagARDSolveScan, packHMat(c, accH))
 		}
 		if r-round.dist >= 0 {
 			payload := c.Recv(r-round.dist, tagARDSolveScan)
@@ -423,19 +485,19 @@ func (s *ARD) solveRank(c *comm.Comm, b, x *mat.Matrix) int64 {
 					preH = recvH
 				} else {
 					fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
-					preH = composeHWS(ws, recvH, round.preS, preH)
+					preH = composeHWS(ws, recvH, round.preS, round.preSPack, preH, bs)
 				}
 				if round.accS == nil {
 					accH = recvH
 				} else {
 					fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
-					accH = composeHWS(ws, recvH, round.accS, accH)
+					accH = composeHWS(ws, recvH, round.accS, round.accSPack, accH, bs)
 				}
 			}
 		}
 	}
 
-	return s.solveFinish(c, b, x, st, localTotalH, preH, &fc)
+	return s.solveFinish(c, b, x, st, localTotalH, preH, bs, &fc)
 }
 
 // solveFinish is the schedule-independent tail of a solve: the reduced
@@ -443,7 +505,7 @@ func (s *ARD) solveRank(c *comm.Comm, b, x *mat.Matrix) int64 {
 // recovery by state propagation (with ping-pong arena buffers and the
 // structured transfer apply).
 func (s *ARD) solveFinish(c *comm.Comm, b, x *mat.Matrix, st *ardRankState,
-	localTotalH, preH *mat.Matrix, fc *flopCounter) int64 {
+	localTotalH, preH *mat.Matrix, bs []float64, fc *flopCounter) int64 {
 	a := s.a
 	r, p := c.Rank(), c.Size()
 	n, m, rhs := a.N, a.M, b.Cols
@@ -453,9 +515,9 @@ func (s *ARD) solveFinish(c *comm.Comm, b, x *mat.Matrix, st *ardRankState,
 		totalH := localTotalH
 		if preH != nil {
 			fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
-			totalH = composeHWS(ws, preH, st.localTotalS, localTotalH)
+			totalH = composeHWS(ws, preH, st.localTotalS, st.localTotalSPack, localTotalH, bs)
 		}
-		rrhs := reducedRHS(ws, a, totalH, wsBlockOf(ws, b, m, n-1))
+		rrhs := reducedRHS(ws, a, totalH, wsBlockOf(ws, b, m, n-1), s.negDiagPack, s.negLowerPack, bs)
 		fc.add(2 * gemmFlops(m, m, rhs))
 		x0 = ws.GetNoClear(m, rhs)
 		s.luRm.SolveTo(x0, rrhs)
@@ -468,7 +530,7 @@ func (s *ARD) solveFinish(c *comm.Comm, b, x *mat.Matrix, st *ardRankState,
 	if st.lo == 0 && st.hi > 0 {
 		wsBlockOf(ws, x, m, 0).CopyFrom(x0)
 	}
-	y := applyPrefixState(ws, m, st.piS, preH, x0)
+	y := applyPrefixState(ws, m, st.piS, st.piSLeftPack, preH, x0, bs)
 	if st.piS != nil {
 		fc.add(gemmFlops(2*m, m, rhs) + addFlops(2*m, rhs))
 	}
@@ -477,7 +539,7 @@ func (s *ARD) solveFinish(c *comm.Comm, b, x *mat.Matrix, st *ardRankState,
 	for k, e := range st.elems {
 		dst := ybuf[ycur]
 		ycur ^= 1
-		applyT(ws, e.t, y, st.fs[k], dst, m)
+		applyT(ws, e.t, e.tPack, y, st.fs[k], dst, m, bs)
 		y = dst
 		fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
 		wsBlockOf(ws, x, m, e.idx).CopyFrom(ws.View(y, 0, 0, m, rhs))

@@ -189,6 +189,11 @@ func LoadFactor(a *blocktri.Matrix, cfg Config, r io.Reader) (*ARD, error) {
 		}
 		s.rk[rank] = st
 	}
+	// The wire format predates the panel packs; rebuild them from the
+	// decoded matrices exactly as Factor does, so a restored solver's solve
+	// phase runs the same packed products (and produces the same bits) as a
+	// freshly factored one.
+	s.buildPacks()
 	s.factored = true
 	s.factorStats = SolveStats{PrefixGrowth: s.growth, StoredBytes: s.storedBytes()}
 	return s, nil

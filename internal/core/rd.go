@@ -190,7 +190,7 @@ func (rd *RD) rdSolveRank(c *comm.Comm, b, x *mat.Matrix, es *errSlot) (int64, f
 		ns, nh := sbuf[cur], hbuf[cur]
 		cur ^= 1
 		mat.Mul(ns, af.S, localTotal.S)
-		applyT(ws, af.S, localTotal.H, af.H, nh, m)
+		applyT(ws, af.S, mat.PackedA{}, localTotal.H, af.H, nh, m, nil)
 		localTotal = Affine{S: ns, H: nh}
 	}
 	if buildErr != nil {
@@ -221,7 +221,7 @@ func (rd *RD) rdSolveRank(c *comm.Comm, b, x *mat.Matrix, es *errSlot) (int64, f
 			fc.add(gemmFlops(2*m, 2*m, 2*m) + gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
 			ts := ws.GetNoClear(2*m, 2*m)
 			mat.Mul(ts, localTotal.S, pi.S)
-			totalH = composeHWS(ws, pi.H, localTotal.S, localTotal.H)
+			totalH = composeHWS(ws, pi.H, localTotal.S, mat.PackedA{}, localTotal.H, nil)
 			totalS = ts
 		}
 		growth = mat.NormFrob(totalS)
@@ -233,7 +233,7 @@ func (rd *RD) rdSolveRank(c *comm.Comm, b, x *mat.Matrix, es *errSlot) (int64, f
 			solveOK = false
 		} else {
 			fc.add(luFlops(m))
-			rrhs := reducedRHS(ws, a, totalH, wsBlockOf(ws, b, m, n-1))
+			rrhs := reducedRHS(ws, a, totalH, wsBlockOf(ws, b, m, n-1), mat.PackedA{}, mat.PackedA{}, nil)
 			fc.add(2 * gemmFlops(m, m, rhs))
 			luRm.SolveTo(x0, rrhs)
 			fc.add(luSolveFlops(m, rhs))
@@ -248,7 +248,7 @@ func (rd *RD) rdSolveRank(c *comm.Comm, b, x *mat.Matrix, es *errSlot) (int64, f
 	if lo == 0 && hi > 0 {
 		wsBlockOf(ws, x, m, 0).CopyFrom(x0)
 	}
-	y := applyPrefixState(ws, m, pi.S, pi.H, x0)
+	y := applyPrefixState(ws, m, pi.S, mat.PackedA{}, pi.H, x0, nil)
 	if pi.S != nil {
 		fc.add(gemmFlops(2*m, m, rhs) + addFlops(2*m, rhs))
 	}
@@ -257,7 +257,7 @@ func (rd *RD) rdSolveRank(c *comm.Comm, b, x *mat.Matrix, es *errSlot) (int64, f
 	for k, i := 0, first; i < hi; k, i = k+1, i+1 {
 		dst := ybuf[ycur]
 		ycur ^= 1
-		applyT(ws, affs[k].S, y, affs[k].H, dst, m)
+		applyT(ws, affs[k].S, mat.PackedA{}, y, affs[k].H, dst, m, nil)
 		y = dst
 		fc.add(gemmFlops(2*m, 2*m, rhs) + addFlops(2*m, rhs))
 		wsBlockOf(ws, x, m, i).CopyFrom(ws.View(y, 0, 0, m, rhs))

@@ -34,6 +34,12 @@ type element struct {
 	idx int         // element index i (the state it produces)
 	t   *mat.Matrix // 2M x 2M transfer matrix
 	luU *mat.LU     // factorization of U_{i-1}, for building F
+
+	// tPack is the packed image of T's working top half [TL TR] (M x 2M),
+	// built once by ARD's factor phase so every solve-phase applyT runs the
+	// packed kernel without repacking T. RD rebuilds its elements per solve
+	// and leaves it zero; applyT then takes the unpacked path.
+	tPack mat.PackedA
 }
 
 // buildElement constructs element i from the blocks of a. It costs one
@@ -72,7 +78,11 @@ func (e element) buildF(m int, bBlock *mat.Matrix) *mat.Matrix {
 // buildFInto is buildF with the result checked out of a workspace: the hot
 // per-solve path allocates nothing once the arena has warmed up.
 func (e element) buildFInto(ws *mat.Workspace, m int, bBlock *mat.Matrix) *mat.Matrix {
-	f := ws.Get(2*m, bBlock.Cols) // zeroed: the bottom half must stay 0
+	// Only the bottom half must be zeroed: SolveTo overwrites the top half
+	// entirely, so a cleared checkout would scrub twice the necessary rows
+	// on every element of every solve.
+	f := ws.GetNoClear(2*m, bBlock.Cols)
+	ws.View(f, m, 0, m, bBlock.Cols).Zero()
 	e.luU.SolveTo(ws.View(f, 0, 0, m, bBlock.Cols), bBlock)
 	return f
 }
@@ -108,16 +118,27 @@ func buildElementWS(ws *mat.Workspace, a *blocktri.Matrix, i int) (element, erro
 //
 // which costs half the flops of the dense 2M x 2M product (the identity and
 // zero blocks contribute a copy, not arithmetic). dst must not alias y or
-// f. Both RD and ARD route every transfer application (the local H fold and
-// the recovery sweep) through this function so the two solvers keep
-// producing bit-identical solutions regardless of which GEMM kernel a given
-// shape dispatches to.
-func applyT(ws *mat.Workspace, t, y, f, dst *mat.Matrix, m int) {
+// f. When the caller holds a prepacked top half (tp) and the shape runs on
+// the packed kernel, the product folds the whole M x R panel through one
+// MulAddPacked; the fallback multiplies through t directly. The packed
+// branch seeds dst_top with f and adds the k-ascending product total once,
+// the exact mirror of the fallback's product-then-add — IEEE addition is
+// commutative, so both orders round identically and the two branches are
+// bit-equal. Both RD and ARD route every transfer application (the local H
+// fold and the recovery sweep) through this function so the two solvers
+// keep producing bit-identical solutions regardless of which GEMM kernel a
+// given shape dispatches to.
+func applyT(ws *mat.Workspace, t *mat.Matrix, tp mat.PackedA, y, f, dst *mat.Matrix, m int, bs []float64) {
 	rhs := y.Cols
 	dTop := ws.View(dst, 0, 0, m, rhs)
-	//lint:ignore matalias dst is documented not to alias y or f, and t is never a solve destination
-	mat.Mul(dTop, ws.View(t, 0, 0, m, 2*m), y)
-	mat.Add(dTop, dTop, ws.View(f, 0, 0, m, rhs))
+	if tp.Valid() && mat.PanelPacked(m, 2*m, rhs) {
+		dTop.CopyFrom(ws.View(f, 0, 0, m, rhs))
+		mat.MulAddPacked(dTop, tp, y, bs)
+	} else {
+		//lint:ignore matalias dst is documented not to alias y or f, and t is never a solve destination
+		mat.Mul(dTop, ws.View(t, 0, 0, m, 2*m), y)
+		mat.Add(dTop, dTop, ws.View(f, 0, 0, m, rhs))
+	}
 	ws.View(dst, m, 0, m, rhs).CopyFrom(ws.View(y, 0, 0, m, rhs))
 }
 
@@ -130,14 +151,26 @@ func (e element) affine(m int, bBlock *mat.Matrix) Affine {
 // applyPrefixState computes y_{s-1} = S[:, 0:M]*x0 + H, the state entering
 // a rank's chunk, given the cross-rank exclusive prefix (S, H) and the
 // broadcast first unknown x0 (M x R). A nil S means the identity prefix:
-// y = [x0 ; 0]. The result is checked out of ws.
-func applyPrefixState(ws *mat.Workspace, m int, s, h, x0 *mat.Matrix) *mat.Matrix {
+// y = [x0 ; 0]. A valid sp is the prepacked left half S[:, 0:M]; on packed
+// shapes the product seeds with H (or zero) and accumulates once, matching
+// the fallback's bits by commutativity of the final add. The result is
+// checked out of ws.
+func applyPrefixState(ws *mat.Workspace, m int, s *mat.Matrix, sp mat.PackedA, h, x0 *mat.Matrix, bs []float64) *mat.Matrix {
 	if s == nil {
 		y := ws.Get(2*m, x0.Cols)
 		ws.View(y, 0, 0, m, x0.Cols).CopyFrom(x0)
 		return y
 	}
 	y := ws.GetNoClear(2*m, x0.Cols)
+	if sp.Valid() && mat.PanelPacked(2*m, m, x0.Cols) {
+		if h != nil {
+			y.CopyFrom(h)
+		} else {
+			y.Zero()
+		}
+		mat.MulAddPacked(y, sp, x0, bs)
+		return y
+	}
 	mat.Mul(y, ws.View(s, 0, 0, 2*m, m), x0)
 	if h != nil {
 		mat.Add(y, y, h)
@@ -178,14 +211,22 @@ func reducedMatrixWS(ws *mat.Workspace, a *blocktri.Matrix, s *mat.Matrix) *mat.
 
 // reducedRHS assembles the reduced right-hand side (M x R) from the global
 // total prefix H part and the last right-hand-side block. The result is
-// checked out of ws.
-func reducedRHS(ws *mat.Workspace, a *blocktri.Matrix, h, bLast *mat.Matrix) *mat.Matrix {
+// checked out of ws. Valid negDiag/negLower are -D_{N-1} and -L_{N-1}
+// prepacked with alpha = -1 — exactly the factor MulSub folds on the fly —
+// so the packed branch subtracts the same k-ascending product totals and
+// stays bit-equal to the fallback.
+func reducedRHS(ws *mat.Workspace, a *blocktri.Matrix, h, bLast *mat.Matrix, negDiag, negLower mat.PackedA, bs []float64) *mat.Matrix {
 	m, r := a.M, bLast.Cols
 	last := a.N - 1
 	rhs := ws.CloneOf(bLast)
 	if h != nil {
-		mat.MulSub(rhs, a.Diag[last], ws.View(h, 0, 0, m, r))
-		mat.MulSub(rhs, a.Lower[last], ws.View(h, m, 0, m, r))
+		if negDiag.Valid() && negLower.Valid() && mat.PanelPacked(m, m, r) {
+			mat.MulAddPacked(rhs, negDiag, ws.View(h, 0, 0, m, r), bs)
+			mat.MulAddPacked(rhs, negLower, ws.View(h, m, 0, m, r), bs)
+		} else {
+			mat.MulSub(rhs, a.Diag[last], ws.View(h, 0, 0, m, r))
+			mat.MulSub(rhs, a.Lower[last], ws.View(h, m, 0, m, r))
+		}
 	}
 	return rhs
 }

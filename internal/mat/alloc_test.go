@@ -99,3 +99,43 @@ func TestGEMMParallelAllocationBounded(t *testing.T) {
 		t.Errorf("parallel GEMM: %v allocs/op, want <= 32 (goroutine bookkeeping only)", allocs)
 	}
 }
+
+// TestMulAddPackedAllocationFree pins the panelized solve-phase contract:
+// with the A-panel packed once into a caller-provided arena slice and the
+// B-scratch supplied per call, MulAddPacked touches the heap zero times —
+// for every panel width the ARD solve issues, including the narrow shapes
+// that fall back to the unpacked GEMM path.
+func TestMulAddPackedAllocationFree(t *testing.T) {
+	prev := ParallelEnabled()
+	defer SetParallel(prev)
+	SetParallel(false)
+	a := New(8, 16)
+	fillSeq(a, 0.5)
+	buf := make([]float64, PackALen(8, 16))
+	pa := PackAInto(buf, 1, a)
+	for _, r := range []int{1, 64, 256} {
+		b := New(16, r)
+		fillSeq(b, 0.25)
+		dst := New(8, r)
+		bs := make([]float64, PackBLen(16, r))
+		MulAddPacked(dst, pa, b, bs) // warm any pool the fallback touches
+		allocs := testing.AllocsPerRun(10, func() { MulAddPacked(dst, pa, b, bs) })
+		if allocs != 0 {
+			t.Errorf("MulAddPacked R=%d: %v allocs/op, want 0", r, allocs)
+		}
+	}
+}
+
+// TestPackAIntoAllocationFree pins the pack step itself: packing into a
+// pre-sized arena slice performs exactly one allocation ever (the frozen
+// source header, made at pack time so the hot solve loop stays clean), and
+// repacking into the same buffer reuses nothing from the heap beyond it.
+func TestPackAIntoAllocationFree(t *testing.T) {
+	a := New(8, 16)
+	fillSeq(a, 0.5)
+	buf := make([]float64, PackALen(8, 16))
+	allocs := testing.AllocsPerRun(10, func() { _ = PackAInto(buf, 1, a) })
+	if allocs > 1 {
+		t.Errorf("PackAInto: %v allocs/op, want <= 1 (the frozen source header)", allocs)
+	}
+}

@@ -18,22 +18,35 @@ const parallelThreshold = 1 << 18
 
 // packThreshold is the minimum number of multiply-add operations before
 // GEMM packs the operands into contiguous tiles for the register-blocked
-// micro-kernel; the packed path additionally requires every operand
-// dimension to reach packMinDim, because on skinny products the packing
-// traffic costs more than the kernel saves and the plain tiled loop runs
-// instead. The dispatch depends only on operand shape, so a given multiply
-// always takes the same path and results stay deterministic.
+// micro-kernel. With the scalar 4x4 kernel the packed path additionally
+// requires every operand dimension to reach packMinDim, because on skinny
+// products the packing traffic costs more than the kernel saves. The
+// AVX-512 8x8 kernel amortizes packing much earlier and on much skinnier
+// panels — exactly the M x R right-hand-side panels the solve phase runs —
+// so its threshold (packThreshold8) is lower and only requires k and n to
+// cover one vector register. The dispatch depends only on operand shape
+// and the process-constant panel width, so a given multiply always takes
+// the same path and results stay deterministic.
 const (
-	packThreshold = 1 << 15
-	packMinDim    = 32
+	packThreshold  = 1 << 15
+	packThreshold8 = 1 << 13
+	packMinDim     = 32
 )
 
-// micro-kernel register block: each inner call computes an MR x NR tile of
-// dst held entirely in scalar accumulators.
+// micro-kernel register blocks. panelW is the packing width: A panels are
+// panelW rows tall, B panels panelW columns wide. It is microMR (the
+// scalar 4x4 kernel) unless AVX-512 is available, in which case init
+// raises it to avxPanelW and full tiles run the 8x8 assembly kernel with
+// the scalar kernel covering edge quadrants. panelW is fixed before main
+// and never changes afterwards, so every pack and every kernel in a
+// process agree on the layout.
 const (
-	microMR = 4
-	microNR = 4
+	microMR  = 4
+	microNR  = 4
+	avxPanelW = 8
 )
+
+var panelW = microMR
 
 // parallelOn controls whether large GEMM calls split row bands across
 // goroutines. It is read by worker goroutines while benchmarks and the
@@ -42,7 +55,18 @@ const (
 // compute costs stay attributable to the rank that performed them.
 var parallelOn atomic.Bool
 
-func init() { parallelOn.Store(true) }
+// vecAxpy enables the 8-wide FMA axpy kernel inside the triangular
+// solves; set alongside the 8-wide GEMM panel width so the whole dense
+// substrate switches vector ISA together.
+var vecAxpy bool
+
+func init() {
+	parallelOn.Store(true)
+	if avx512Available() {
+		panelW = avxPanelW
+		vecAxpy = true
+	}
+}
 
 // SetParallel enables or disables the parallel row-band split for large
 // GEMM calls. Safe to call concurrently with running multiplications: the
@@ -53,6 +77,27 @@ func SetParallel(on bool) { parallelOn.Store(on) }
 // ParallelEnabled reports whether large GEMM calls currently fan out across
 // goroutines.
 func ParallelEnabled() bool { return parallelOn.Load() }
+
+// panelOK reports whether an m x k by k x n product takes the packed
+// register-blocked path. Single-column products always go through gemv.
+func panelOK(m, k, n int) bool {
+	if n < 2 {
+		return false
+	}
+	ops := m * k * n
+	if panelW == avxPanelW {
+		return ops >= packThreshold8 && k >= avxPanelW && n >= avxPanelW
+	}
+	return ops >= packThreshold && min(min(m, k), n) >= packMinDim
+}
+
+// PanelPacked reports whether an m x k by k x n product runs on the packed
+// register-blocked kernel (8x8 tiles when AVX-512 is available, 4x4
+// otherwise). Callers that maintain prepacked operands use it to decide
+// whether a shape is worth packing at all: MulAddPacked falls back to
+// plain GEMM exactly when this returns false, so gating a prepack on
+// PanelPacked keeps the packed and unpacked paths bit-identical.
+func PanelPacked(m, k, n int) bool { return panelOK(m, k, n) }
 
 // packBuf holds the packed-operand scratch of one GEMM call (or the gather
 // buffer of one strided gemv). Buffers are recycled through a typed free
@@ -119,7 +164,7 @@ func GEMM(alpha float64, a, b *Matrix, beta float64, dst *Matrix) {
 		gemmParallel(alpha, a, b, dst)
 		return
 	}
-	if ops >= packThreshold && min(min(a.Rows, a.Cols), b.Cols) >= packMinDim {
+	if panelOK(a.Rows, a.Cols, b.Cols) {
 		pb := getPackBuf()
 		pb.b = ensureFloats(pb.b, packedBLen(b))
 		packB(b, pb.b)
@@ -195,114 +240,126 @@ func gemmSerial(alpha float64, a, b, dst *Matrix, r0, r1 int) {
 	}
 }
 
-// packedALen returns the packed size of rows [r0, r1) of a: full microMR
+// packedALen returns the packed size of rows [r0, r1) of a: full panelW
 // row panels (zero padded), k-major within each panel.
 func packedALen(a *Matrix, r0, r1 int) int {
-	panels := (r1 - r0 + microMR - 1) / microMR
-	return panels * microMR * a.Cols
+	w := panelW
+	panels := (r1 - r0 + w - 1) / w
+	return panels * w * a.Cols
 }
 
-// packedBLen returns the packed size of b: full microNR column panels
+// packedBLen returns the packed size of b: full panelW column panels
 // (zero padded), k-major within each panel.
 func packedBLen(b *Matrix) int {
-	panels := (b.Cols + microNR - 1) / microNR
-	return panels * microNR * b.Rows
+	w := panelW
+	panels := (b.Cols + w - 1) / w
+	return panels * w * b.Rows
 }
 
-// packA copies rows [r0, r1) of a into pA as microMR-row panels, k-major
+// packA copies rows [r0, r1) of a into pA as panelW-row panels, k-major
 // within each panel, with alpha folded into the values (matching the
 // alpha*a[i][k] factor of the unpacked kernel, so reduction order and
-// rounding are unchanged). Panel rows past r1 are zero.
+// rounding are unchanged). Panel rows past r1 are zero. Each source row is
+// read sequentially and scattered into its k-major slot, so the expensive
+// direction of the transpose stays on the small packed buffer.
 func packA(alpha float64, a *Matrix, r0, r1 int, pA []float64) {
+	w := panelW
 	kk := a.Cols
 	idx := 0
-	for ip := r0; ip < r1; ip += microMR {
-		if r1-ip >= microMR {
-			// Full panel: branch-free transposing gather of four rows.
-			row0 := a.Data[(ip+0)*a.Stride:]
-			row1 := a.Data[(ip+1)*a.Stride:]
-			row2 := a.Data[(ip+2)*a.Stride:]
-			row3 := a.Data[(ip+3)*a.Stride:]
+	for ip := r0; ip < r1; ip += w {
+		rows := min(w, r1-ip)
+		for i := 0; i < rows; i++ {
+			row := a.Data[(ip+i)*a.Stride : (ip+i)*a.Stride+kk]
+			for k, v := range row {
+				pA[idx+k*w+i] = alpha * v
+			}
+		}
+		for i := rows; i < w; i++ {
 			for k := 0; k < kk; k++ {
-				dst := (*[microMR]float64)(pA[idx:])
-				dst[0] = alpha * row0[k]
-				dst[1] = alpha * row1[k]
-				dst[2] = alpha * row2[k]
-				dst[3] = alpha * row3[k]
-				idx += microMR
-			}
-			continue
-		}
-		rows := r1 - ip
-		for k := 0; k < kk; k++ {
-			for i := 0; i < microMR; i++ {
-				v := 0.0
-				if i < rows {
-					v = alpha * a.Data[(ip+i)*a.Stride+k]
-				}
-				pA[idx] = v
-				idx++
+				pA[idx+k*w+i] = 0
 			}
 		}
+		idx += w * kk
 	}
 }
 
-// packB copies b into pB as microNR-column panels, k-major within each
-// panel. Panel columns past b.Cols are zero.
+// packB copies b into pB as panelW-column panels, k-major within each
+// panel. Panel columns past b.Cols are zero. Full panels move through
+// fixed-size array stores: a generic copy of 8 floats spends more time in
+// call dispatch than in the move itself, and packing is the dominant
+// per-call overhead of MulAddPacked on the solve phase's skinny panels.
 func packB(b *Matrix, pB []float64) {
+	w := panelW
 	kk, n := b.Rows, b.Cols
 	idx := 0
-	for jp := 0; jp < n; jp += microNR {
-		if n-jp >= microNR {
-			// Full panel: branch-free contiguous copies.
+	for jp := 0; jp < n; jp += w {
+		cols := min(w, n-jp)
+		switch {
+		case cols == 8 && w == 8:
+			if kk > 0 {
+				packColsAsm(kk, &b.Data[jp], b.Stride, &pB[idx])
+			}
+		case cols == 4 && w == 4:
 			for k := 0; k < kk; k++ {
-				src := (*[microNR]float64)(b.Data[k*b.Stride+jp:])
-				dst := (*[microNR]float64)(pB[idx:])
-				*dst = *src
-				idx += microNR
+				*(*[4]float64)(pB[idx+k*4:]) = *(*[4]float64)(b.Data[k*b.Stride+jp:])
 			}
-			continue
-		}
-		cols := n - jp
-		for k := 0; k < kk; k++ {
-			brow := b.Data[k*b.Stride+jp : k*b.Stride+jp+cols]
-			for j := 0; j < microNR; j++ {
-				v := 0.0
-				if j < cols {
-					v = brow[j]
+		default:
+			for k := 0; k < kk; k++ {
+				brow := b.Data[k*b.Stride+jp : k*b.Stride+jp+cols]
+				off := idx + k*w
+				copy(pB[off:off+cols], brow)
+				for j := cols; j < w; j++ {
+					pB[off+j] = 0
 				}
-				pB[idx] = v
-				idx++
 			}
 		}
+		idx += w * kk
 	}
 }
 
-// gemmPacked runs the register-blocked micro-kernel over the packed panels
-// of a (rows [r0, r1), packed in pA) and b (packed in pB), accumulating
-// into dst. Each micro-tile folds its k-ascending partial sums in a single
-// scalar register per element and adds the total to dst once, so the
-// reduction order depends only on the operand shapes — never on the
-// parallel split — and results are bit-for-bit reproducible run to run.
+// gemmPacked runs the register-blocked kernels over the packed panels of a
+// (rows [r0, r1), packed in pA starting at r0's panel) and b (packed in
+// pB), accumulating into dst. Full panelW x panelW tiles run the AVX-512
+// assembly kernel when panelW is avxPanelW; edge tiles and the portable
+// configuration run the scalar 4x4 micro-kernel over panel quadrants. Each
+// tile folds its k-ascending partial sums in registers and adds the total
+// to dst once, so the reduction order depends only on the operand shapes —
+// never on the parallel split — and results are bit-for-bit reproducible
+// run to run.
 func gemmPacked(kk int, pA, pB []float64, dst *Matrix, r0, r1 int) {
 	n := dst.Cols
-	aPanel := microMR * kk
-	bPanel := microNR * kk
-	for ip, pi := r0, 0; ip < r1; ip, pi = ip+microMR, pi+1 {
-		mr := min(microMR, r1-ip)
-		pa := pA[pi*aPanel : (pi+1)*aPanel]
-		for jp, pj := 0, 0; jp < n; jp, pj = jp+microNR, pj+1 {
-			nr := min(microNR, n-jp)
-			pb := pB[pj*bPanel : (pj+1)*bPanel]
-			microKernel(kk, pa, pb, dst, ip, jp, mr, nr)
+	w := panelW
+	panel := w * kk
+	for ip, pi := r0, 0; ip < r1; ip, pi = ip+w, pi+1 {
+		mr := min(w, r1-ip)
+		pa := pA[pi*panel : (pi+1)*panel]
+		for jp, pj := 0, 0; jp < n; jp, pj = jp+w, pj+1 {
+			nr := min(w, n-jp)
+			pb := pB[pj*panel : (pj+1)*panel]
+			if w == avxPanelW {
+				if mr == avxPanelW && nr == avxPanelW {
+					kernel8x8Asm(kk, &pa[0], &pb[0], &dst.Data[ip*dst.Stride+jp], dst.Stride)
+					continue
+				}
+				for io := 0; io < mr; io += microMR {
+					mq := min(microMR, mr-io)
+					for jo := 0; jo < nr; jo += microNR {
+						nq := min(microNR, nr-jo)
+						microKernel(kk, pa[io:], pb[jo:], w, dst, ip+io, jp+jo, mq, nq)
+					}
+				}
+				continue
+			}
+			microKernel(kk, pa, pb, w, dst, ip, jp, mr, nr)
 		}
 	}
 }
 
 // microKernel computes one mr x nr tile (mr <= microMR, nr <= microNR) of
-// dst += pa*pb, where pa and pb are the k-major packed panels. The sixteen
-// accumulators live in registers across the whole k loop.
-func microKernel(kk int, pa, pb []float64, dst *Matrix, i0, j0, mr, nr int) {
+// dst += pa*pb, where pa and pb are k-major packed panels of width w
+// (offset by the caller to the tile's quadrant when w exceeds microMR).
+// The sixteen accumulators live in registers across the whole k loop.
+func microKernel(kk int, pa, pb []float64, w int, dst *Matrix, i0, j0, mr, nr int) {
 	var (
 		c00, c01, c02, c03 float64
 		c10, c11, c12, c13 float64
@@ -310,8 +367,8 @@ func microKernel(kk int, pa, pb []float64, dst *Matrix, i0, j0, mr, nr int) {
 		c30, c31, c32, c33 float64
 	)
 	for k := 0; k < kk; k++ {
-		ak := (*[microMR]float64)(pa[k*microMR:])
-		bk := (*[microNR]float64)(pb[k*microNR:])
+		ak := (*[microMR]float64)(pa[k*w:])
+		bk := (*[microNR]float64)(pb[k*w:])
 		a0, a1, a2, a3 := ak[0], ak[1], ak[2], ak[3]
 		b0, b1, b2, b3 := bk[0], bk[1], bk[2], bk[3]
 		c00 += a0 * b0
@@ -355,10 +412,26 @@ func gemmParallel(alpha float64, a, b, dst *Matrix) {
 	if workers > a.Rows {
 		workers = a.Rows
 	}
-	// Band boundaries snap to the micro-panel height so no two workers
-	// write the same dst row.
+	// Band boundaries snap to the packing width so no two workers write
+	// the same dst row and every band starts on a panel boundary.
 	band := (a.Rows + workers - 1) / workers
-	band = (band + microMR - 1) / microMR * microMR
+	band = (band + panelW - 1) / panelW * panelW
+	if band >= a.Rows {
+		// One band: skip the goroutine and its bookkeeping allocations —
+		// a single-P runtime must keep the 0 allocs/op solve contract.
+		if panelOK(a.Rows, a.Cols, b.Cols) {
+			pb := getPackBuf()
+			pb.b = ensureFloats(pb.b, packedBLen(b))
+			packB(b, pb.b)
+			pb.a = ensureFloats(pb.a, packedALen(a, 0, a.Rows))
+			packA(alpha, a, 0, a.Rows, pb.a)
+			gemmPacked(a.Cols, pb.a, pb.b, dst, 0, a.Rows)
+			putPackBuf(pb)
+		} else {
+			gemmSerial(alpha, a, b, dst, 0, a.Rows)
+		}
+		return
+	}
 	shared := getPackBuf()
 	shared.b = ensureFloats(shared.b, packedBLen(b))
 	packB(b, shared.b)
@@ -377,6 +450,138 @@ func gemmParallel(alpha float64, a, b, dst *Matrix) {
 	}
 	wg.Wait()
 	putPackBuf(shared)
+}
+
+// PackedA is a reusable packed image of alpha*A: panelW-row panels,
+// k-major, alpha folded in, laid out exactly as one GEMM call would pack A
+// on the fly. Solvers build one at factor time for each transfer operand
+// that the solve phase multiplies repeatedly, so the per-solve cost drops
+// to packing the right-hand-side panel alone. The zero value is not valid;
+// callers gate on Valid.
+type PackedA struct {
+	rows, k, w int
+	alpha      float64
+	data       []float64
+	// src is a heap copy of the source header, allocated once at pack time
+	// so the below-threshold GEMM fallback never forces the PackedA value
+	// itself to escape — MulAddPacked stays allocation-free per call.
+	src *Matrix
+}
+
+// Valid reports whether p holds a pack (the zero PackedA does not).
+func (p PackedA) Valid() bool { return p.w != 0 }
+
+// Rows returns the row count of the packed operand.
+func (p PackedA) Rows() int { return p.rows }
+
+// K returns the inner (column) dimension of the packed operand.
+func (p PackedA) K() int { return p.k }
+
+// PackALen returns the buffer length PackAInto requires for an m x k
+// operand under the current panel width.
+func PackALen(m, k int) int {
+	w := panelW
+	return (m + w - 1) / w * w * k
+}
+
+// PackBLen returns the scratch length MulAddPacked needs to pack a k x n
+// right-hand operand under the current panel width.
+func PackBLen(k, n int) int {
+	w := panelW
+	return (n + w - 1) / w * w * k
+}
+
+// PackAInto packs alpha*a into buf (length at least PackALen(a.Rows,
+// a.Cols)) and returns the PackedA describing it. The pack records a copy
+// of a's header: MulAddPacked falls back to plain GEMM through it on
+// shapes below the packed threshold, so a's backing data must outlive the
+// pack even though the header itself may be recycled.
+func PackAInto(buf []float64, alpha float64, a *Matrix) PackedA {
+	need := PackALen(a.Rows, a.Cols)
+	if len(buf) < need {
+		panic("mat: PackAInto buffer too small")
+	}
+	packA(alpha, a, 0, a.Rows, buf[:need])
+	src := *a
+	return PackedA{rows: a.Rows, k: a.Cols, w: panelW, alpha: alpha, data: buf[:need], src: &src}
+}
+
+// NewPackedA allocates a fresh buffer and packs alpha*a into it. Factor
+// phases use it; solve phases must pre-size workspace and use PackAInto.
+func NewPackedA(alpha float64, a *Matrix) PackedA {
+	return PackAInto(make([]float64, PackALen(a.Rows, a.Cols)), alpha, a)
+}
+
+// MulAddPacked computes dst += alpha*A*b where alpha*A was prepacked into
+// pa. b is packed into bScratch (length at least PackBLen(b.Rows, b.Cols);
+// pass nil to draw from the internal pool) and the product runs on the
+// register-blocked kernels, splitting row bands across goroutines for
+// large shapes when parallelism is enabled. Shapes below the packed
+// threshold fall back to plain GEMM on the recorded source operand, so the
+// result is bit-identical to GEMM(alpha, a, b, 1, dst) for every shape.
+// dst must be pa.Rows() x b.Cols and must not alias b.
+func MulAddPacked(dst *Matrix, pa PackedA, b *Matrix, bScratch []float64) {
+	if !pa.Valid() {
+		panic("mat: MulAddPacked on zero PackedA")
+	}
+	if pa.k != b.Rows || dst.Rows != pa.rows || dst.Cols != b.Cols {
+		panic("mat: MulAddPacked shape mismatch")
+	}
+	if pa.w != panelW {
+		panic("mat: MulAddPacked panel width mismatch")
+	}
+	if !panelOK(pa.rows, pa.k, b.Cols) {
+		GEMM(pa.alpha, pa.src, b, 1, dst)
+		return
+	}
+	need := PackBLen(b.Rows, b.Cols)
+	buf := bScratch
+	var pbuf *packBuf
+	if len(buf) < need {
+		pbuf = getPackBuf()
+		pbuf.b = ensureFloats(pbuf.b, need)
+		buf = pbuf.b
+	} else {
+		buf = buf[:need]
+	}
+	packB(b, buf)
+	if pa.rows*pa.k*b.Cols >= parallelThreshold && parallelOn.Load() {
+		mulAddPackedParallel(pa, buf, dst)
+	} else {
+		gemmPacked(pa.k, pa.data, buf, dst, 0, pa.rows)
+	}
+	if pbuf != nil {
+		putPackBuf(pbuf)
+	}
+}
+
+// mulAddPackedParallel fans the packed product out across row bands. Both
+// operands are already packed, so workers slice the shared panels
+// read-only; bands snap to the panel width, keeping per-row reduction
+// order identical to the serial path.
+func mulAddPackedParallel(pa PackedA, pB []float64, dst *Matrix) {
+	w := panelW
+	workers := runtime.GOMAXPROCS(0)
+	if workers > pa.rows {
+		workers = pa.rows
+	}
+	band := (pa.rows + workers - 1) / workers
+	band = (band + w - 1) / w * w
+	if band >= pa.rows {
+		// One band: same arithmetic, no goroutine bookkeeping.
+		gemmPacked(pa.k, pa.data, pB, dst, 0, pa.rows)
+		return
+	}
+	var wg sync.WaitGroup
+	for r0 := 0; r0 < pa.rows; r0 += band {
+		r1 := min(r0+band, pa.rows)
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			gemmPacked(pa.k, pa.data[r0/w*w*pa.k:], pB, dst, r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
 }
 
 // Mul computes dst = a*b. dst must not alias a or b.

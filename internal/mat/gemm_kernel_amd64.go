@@ -1,0 +1,53 @@
+package mat
+
+import "os"
+
+// AVX-512 support for the packed GEMM path. When the CPU and OS expose the
+// full ZMM state, the packed kernel runs 8x8 register tiles (eight zmm
+// accumulators) written in assembly; otherwise the portable 4x4 scalar
+// micro-kernel carries the whole product. Detection happens once before
+// main, so the panel width — and with it the dispatch predicate and the
+// floating-point reduction order of every GEMM — is fixed for the life of
+// the process.
+
+//go:noescape
+func kernel8x8Asm(k int, pa, pb, dst *float64, stride int)
+
+//go:noescape
+func axpyAsm(alpha float64, x, y *float64, n int)
+
+//go:noescape
+func packColsAsm(k int, src *float64, stride int, dst *float64)
+
+//go:noescape
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+// avx512Available reports whether the processor supports AVX-512F and the
+// operating system saves the ZMM and opmask register state (XCR0 bits
+// SSE|AVX|opmask|ZMM_Hi256|Hi16_ZMM). BLOCKTRI_NOAVX512 forces the scalar
+// path for debugging and cross-machine bit comparisons.
+func avx512Available() bool {
+	if os.Getenv("BLOCKTRI_NOAVX512") != "" {
+		return false
+	}
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&0xe6 != 0xe6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx512f = 1 << 16
+	return ebx7&avx512f != 0
+}

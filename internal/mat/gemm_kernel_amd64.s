@@ -1,0 +1,150 @@
+// AVX-512 micro-kernels and CPU feature probes for the packed GEMM path.
+// See gemm_kernel_amd64.go for the Go-side contracts.
+
+#include "textflag.h"
+
+// func kernel8x8Asm(k int, pa, pb, dst *float64, stride int)
+//
+// One 8x8 tile of dst += panelA * panelB, where panelA and panelB are
+// k-major 8-wide micro-panels (pa[k*8+i] = alpha*a[i][k], pb[k*8+j] =
+// b[k][j]) and dst is row-major with the given element stride. The eight
+// rows of the tile live in Z0-Z7 for the whole k loop; each iteration
+// loads one B panel row into Z8 and folds the eight A values in with
+// broadcast FMAs. The accumulated totals are added to dst once at the end,
+// so the reduction order (k-ascending partial sums, one final add into
+// dst) matches the scalar micro-kernel's and is independent of any
+// parallel row-band split.
+TEXT ·kernel8x8Asm(SB), NOSPLIT, $0-40
+	MOVQ k+0(FP), CX
+	MOVQ pa+8(FP), SI
+	MOVQ pb+16(FP), DX
+	MOVQ dst+24(FP), DI
+	MOVQ stride+32(FP), R8
+	SHLQ $3, R8              // element stride -> byte stride
+
+	VXORPD Z0, Z0, Z0
+	VXORPD Z1, Z1, Z1
+	VXORPD Z2, Z2, Z2
+	VXORPD Z3, Z3, Z3
+	VXORPD Z4, Z4, Z4
+	VXORPD Z5, Z5, Z5
+	VXORPD Z6, Z6, Z6
+	VXORPD Z7, Z7, Z7
+
+	TESTQ CX, CX
+	JZ    writeback
+
+kloop:
+	VMOVUPD (DX), Z8
+	VFMADD231PD.BCST 0(SI), Z8, Z0
+	VFMADD231PD.BCST 8(SI), Z8, Z1
+	VFMADD231PD.BCST 16(SI), Z8, Z2
+	VFMADD231PD.BCST 24(SI), Z8, Z3
+	VFMADD231PD.BCST 32(SI), Z8, Z4
+	VFMADD231PD.BCST 40(SI), Z8, Z5
+	VFMADD231PD.BCST 48(SI), Z8, Z6
+	VFMADD231PD.BCST 56(SI), Z8, Z7
+	ADDQ $64, SI
+	ADDQ $64, DX
+	DECQ CX
+	JNZ  kloop
+
+writeback:
+	VADDPD (DI), Z0, Z0
+	VMOVUPD Z0, (DI)
+	ADDQ R8, DI
+	VADDPD (DI), Z1, Z1
+	VMOVUPD Z1, (DI)
+	ADDQ R8, DI
+	VADDPD (DI), Z2, Z2
+	VMOVUPD Z2, (DI)
+	ADDQ R8, DI
+	VADDPD (DI), Z3, Z3
+	VMOVUPD Z3, (DI)
+	ADDQ R8, DI
+	VADDPD (DI), Z4, Z4
+	VMOVUPD Z4, (DI)
+	ADDQ R8, DI
+	VADDPD (DI), Z5, Z5
+	VMOVUPD Z5, (DI)
+	ADDQ R8, DI
+	VADDPD (DI), Z6, Z6
+	VMOVUPD Z6, (DI)
+	ADDQ R8, DI
+	VADDPD (DI), Z7, Z7
+	VMOVUPD Z7, (DI)
+	VZEROUPPER
+	RET
+
+// func axpyAsm(alpha float64, x, y *float64, n int)
+//
+// y[0:n] += alpha * x[0:n] with 8-wide FMA; the scalar tail is handled by
+// the Go caller. n must be a multiple of 8.
+TEXT ·axpyAsm(SB), NOSPLIT, $0-32
+	VBROADCASTSD alpha+0(FP), Z1
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DI
+	MOVQ n+24(FP), CX
+	SHRQ $3, CX
+	TESTQ CX, CX
+	JZ   done
+
+loop:
+	VMOVUPD (DI), Z0
+	VFMADD231PD (SI), Z1, Z0
+	VMOVUPD Z0, (DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  loop
+
+done:
+	VZEROUPPER
+	RET
+
+// func packColsAsm(k int, src *float64, stride int, dst *float64)
+//
+// Copies an 8-column strip out of a row-major matrix into a k-major packed
+// panel: dst[kq*8 : kq*8+8] = src[kq*stride : kq*stride+8] for kq in
+// [0, k). Eight float64 values are one ZMM register, so each row is a
+// single unaligned load/store pair — the generic per-row copy spends more
+// time in memmove dispatch than moving the 64 bytes.
+TEXT ·packColsAsm(SB), NOSPLIT, $0-32
+	MOVQ k+0(FP), CX
+	MOVQ src+8(FP), SI
+	MOVQ stride+16(FP), R8
+	MOVQ dst+24(FP), DI
+	SHLQ $3, R8              // element stride -> byte stride
+	TESTQ CX, CX
+	JZ   packdone
+
+packloop:
+	VMOVUPD (SI), Z0
+	VMOVUPD Z0, (DI)
+	ADDQ R8, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  packloop
+
+packdone:
+	VZEROUPPER
+	RET
+
+// func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,20 @@
+//go:build !amd64
+
+package mat
+
+// Non-amd64 fallbacks: no vector kernel, so the panel width stays at the
+// portable 4x4 scalar micro-kernel and these stubs are never reached.
+
+func avx512Available() bool { return false }
+
+func kernel8x8Asm(k int, pa, pb, dst *float64, stride int) {
+	panic("mat: kernel8x8Asm without AVX-512")
+}
+
+func axpyAsm(alpha float64, x, y *float64, n int) {
+	panic("mat: axpyAsm without AVX-512")
+}
+
+func packColsAsm(k int, src *float64, stride int, dst *float64) {
+	panic("mat: packColsAsm without AVX-512")
+}

@@ -124,6 +124,14 @@ func (lu *LU) SolveInPlace(b *Matrix) {
 			}
 		}
 	}
+	// Wide right-hand-side panels (the shape the batched solvers
+	// substitute) take the vectorized row-update path; narrow panels keep
+	// the original inline scalar loops, which the compiler handles well
+	// and which avoid any per-row call overhead.
+	if vecAxpy && r >= 8 {
+		lu.substituteWide(b, r)
+		return
+	}
 	// Forward substitution: L y = P b with unit diagonal.
 	for i := 1; i < n; i++ {
 		bi := b.Data[i*b.Stride : i*b.Stride+r]
@@ -133,7 +141,7 @@ func (lu *LU) SolveInPlace(b *Matrix) {
 				continue
 			}
 			bk := b.Data[k*b.Stride : k*b.Stride+r]
-			for j := range bi {
+			for j := 0; j < r; j++ {
 				bi[j] -= m * bk[j]
 			}
 		}
@@ -147,7 +155,50 @@ func (lu *LU) SolveInPlace(b *Matrix) {
 				continue
 			}
 			bk := b.Data[k*b.Stride : k*b.Stride+r]
-			for j := range bi {
+			for j := 0; j < r; j++ {
+				bi[j] -= u * bk[j]
+			}
+		}
+		d := f.Data[i*f.Stride+i]
+		for j := range bi {
+			bi[j] /= d
+		}
+	}
+}
+
+// substituteWide runs the forward/back substitution of SolveInPlace with
+// an 8-wide FMA head on every row update (scalar tail for r mod 8).
+// Only called when vecAxpy is set and r >= 8.
+func (lu *LU) substituteWide(b *Matrix, r int) {
+	f := lu.factors
+	n := f.Rows
+	n8 := r &^ 7
+	// Forward substitution: L y = P b with unit diagonal.
+	for i := 1; i < n; i++ {
+		bi := b.Data[i*b.Stride : i*b.Stride+r]
+		for k := 0; k < i; k++ {
+			m := f.Data[i*f.Stride+k]
+			if m == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Stride : k*b.Stride+r]
+			axpyAsm(-m, &bk[0], &bi[0], n8)
+			for j := n8; j < r; j++ {
+				bi[j] -= m * bk[j]
+			}
+		}
+	}
+	// Back substitution: U x = y.
+	for i := n - 1; i >= 0; i-- {
+		bi := b.Data[i*b.Stride : i*b.Stride+r]
+		for k := i + 1; k < n; k++ {
+			u := f.Data[i*f.Stride+k]
+			if u == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Stride : k*b.Stride+r]
+			axpyAsm(-u, &bk[0], &bi[0], n8)
+			for j := n8; j < r; j++ {
 				bi[j] -= u * bk[j]
 			}
 		}

@@ -147,6 +147,13 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 		panic(fmt.Sprintf("mat: CopyFrom shape mismatch %dx%d vs %dx%d",
 			m.Rows, m.Cols, src.Rows, src.Cols))
 	}
+	if m.Stride == m.Cols && src.Stride == src.Cols {
+		// Both sides contiguous: one bulk copy instead of a per-row call.
+		// The hot solve paths copy M x R panels whose views are full-width,
+		// so this is the common case.
+		copy(m.Data[:m.Rows*m.Cols], src.Data[:src.Rows*src.Cols])
+		return
+	}
 	for i := 0; i < m.Rows; i++ {
 		copy(m.Data[i*m.Stride:i*m.Stride+m.Cols], src.Data[i*src.Stride:i*src.Stride+m.Cols])
 	}

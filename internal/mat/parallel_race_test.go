@@ -56,3 +56,45 @@ func TestParallelToggleRace(t *testing.T) {
 	close(stop)
 	toggler.Wait()
 }
+
+// TestMulAddPackedParallelRace runs concurrent panelized accumulations off
+// one shared PackedA while the parallel dispatch is enabled. Under -race
+// this proves the packed panel is safely shared read-only across worker
+// goroutines and across concurrent callers; the Equal check proves the
+// parallel bands (which snap to the panel width) reproduce the serial
+// result bit-for-bit.
+func TestMulAddPackedParallelRace(t *testing.T) {
+	prev := ParallelEnabled()
+	defer SetParallel(prev)
+
+	const m, k, n = 64, 64, 64 // m*k*n crosses parallelThreshold
+	a := New(m, k)
+	b := New(k, n)
+	fillSeq(a, 0.5)
+	fillSeq(b, 0.25)
+	pa := NewPackedA(1, a)
+
+	SetParallel(false)
+	want := New(m, n)
+	MulAddPacked(want, pa, b, nil)
+
+	SetParallel(true)
+	var workers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			dst := New(m, n)
+			bs := make([]float64, PackBLen(k, n))
+			for i := 0; i < 10; i++ {
+				dst.Zero()
+				MulAddPacked(dst, pa, b, bs)
+				if !dst.Equal(want) {
+					t.Error("parallel MulAddPacked differs from serial result")
+					return
+				}
+			}
+		}()
+	}
+	workers.Wait()
+}

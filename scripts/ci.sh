@@ -17,6 +17,9 @@ go test -race ./...
 # or a clean typed error — never a hang, never a silent wrong answer.
 go run ./cmd/blocktri-chaos -seed 1 -plans 32
 # Perf gate: re-measure the hot paths and fail on >15% ns/op regression or
-# any allocs/op increase against the committed BENCH_*.json baselines.
-# After an intentional perf change, refresh them with `make bench-baseline`.
+# any allocs/op increase against the committed BENCH_*.json baselines —
+# the batched ARD solve (ARDSolve/R={1,64,256}), the GEMM kernel tiers
+# including the skinny panel shapes the panelized solve issues, and the
+# lint suite. After an intentional perf change, refresh the baselines with
+# `make bench-baseline`.
 go run ./cmd/blocktri-bench -perf compare
