@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-cold lint-sarif lint-stats lint-watch test race bench bench-panel bench-baseline bench-compare verify chaos chaos-soak experiments experiments-quick ci clean
+.PHONY: all build vet lint lint-cold lint-sarif lint-stats lint-watch test race bench bench-panel bench-baseline bench-compare verify chaos chaos-soak serve-chaos experiments experiments-quick ci clean
 
 all: build vet lint test
 
@@ -70,6 +70,13 @@ chaos:
 
 chaos-soak:
 	$(GO) run ./cmd/blocktri-chaos -seed $$(date +%s) -plans 256
+
+# Service-level campaign: concurrent tenants against a fault-injected
+# blocktri-serve backend, run under the race detector. Asserts every request
+# ends in a correct solution or a clean typed error within deadline — no
+# hangs, no goroutine leaks, no cross-tenant stalls.
+serve-chaos:
+	$(GO) run -race ./cmd/blocktri-chaos -service -seed 1 -tenants 5 -requests 120
 
 experiments:
 	$(GO) run ./cmd/blocktri-bench -exp all -csv results

@@ -10,8 +10,9 @@
 //
 // The perf-regression harness (see perf.go) lives behind -perf:
 //
-//	blocktri-bench -perf baseline   # (re)write BENCH_*.json baselines
-//	blocktri-bench -perf compare    # re-measure, exit 1 on regression
+//	blocktri-bench -perf baseline             # (re)write BENCH_*.json baselines
+//	blocktri-bench -perf compare              # re-measure, exit 1 on regression
+//	blocktri-bench -perf baseline -perf-suite serve   # one suite only
 package main
 
 import (
@@ -31,10 +32,11 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	perfMode := flag.String("perf", "", "perf harness mode: 'baseline' or 'compare'")
 	perfDir := flag.String("perf-dir", ".", "directory holding the BENCH_*.json baselines")
+	perfSuite := flag.String("perf-suite", "", "comma-separated suite subset for -perf (default: all)")
 	flag.Parse()
 
 	if *perfMode != "" {
-		os.Exit(runPerf(*perfMode, *perfDir))
+		os.Exit(runPerf(*perfMode, *perfDir, *perfSuite))
 	}
 
 	if *list {

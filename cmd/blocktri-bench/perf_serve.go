@@ -1,0 +1,117 @@
+// Serve-suite perf measurements: the warm-factor path of the solver
+// service. Once a matrix's factorization is cache-resident, a Submit is
+// admission + worker handoff + a BLAS-3 panel solve; this suite pins both
+// the mean cost of that path (throughput) and its tail (p99 latency) so a
+// scheduling or caching regression in internal/serve fails CI even when
+// the solver kernels underneath are unchanged.
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"blocktri/internal/serve"
+	"blocktri/internal/workload"
+)
+
+// Every Submit crosses goroutine handoffs (submitter, admission, worker,
+// wake), so on a busy or single-core machine both entries carry scheduler
+// noise the solver suites never see: a ±50% swing between clean runs is
+// normal. The gates are therefore wide relatively and hard absolutely — a
+// structural regression (a request hitting the cold factor path, a stalled
+// queue, a lost wakeup) costs a multiple, not a percentage.
+const (
+	// serveP99Samples is the per-round sample count for the tail measurement.
+	serveP99Samples = 200
+	// serveP99Rounds is how many p99 rounds the median runs over.
+	serveP99Rounds = 5
+	// serveWarmTol / serveWarmBudgetNs gate the warm mean: up to +50%
+	// relative, 500µs absolute.
+	serveWarmTol      = 0.5
+	serveWarmBudgetNs = 5e5
+	// serveP99Tol / serveP99BudgetNs gate the tail: up to +100% relative,
+	// 1ms absolute — a warm single-RHS solve whose tail reaches a
+	// millisecond has stopped being warm.
+	serveP99Tol      = 1.0
+	serveP99BudgetNs = 1e6
+)
+
+// measureServe benchmarks warm-factor Submits against a live server at a
+// service-plausible shape (N=64, M=8, P=2, single-RHS requests).
+//
+//   - Serve/warm-solve: mean ns per warm single-RHS Submit (best of three
+//     testing.Benchmark runs); 1e9/ns_per_op is the warm throughput floor.
+//   - Serve/warm-p99: 99th-percentile Submit latency over 200 sequential
+//     requests, median of five rounds. Tails carry scheduler noise a mean
+//     never sees, so the entry is gated wide relatively (serveP99Tol) and
+//     hard absolutely (serveP99BudgetNs): a tail that doubles on noise
+//     passes, a tail that reaches milliseconds — a stalled queue, a lost
+//     wakeup — fails.
+//
+// Allocations are not gated: the service allocates per request by design
+// (task, result, context); only the solver underneath is arena-backed.
+func measureServe() ([]perfEntry, error) {
+	srv := serve.New(serve.Config{P: 2, QueueDepth: 256, MaxPanel: 64})
+	defer srv.Close()
+
+	a := workload.Build(workload.Oscillatory, 64, 8, 1)
+	if err := srv.Register("bench", a); err != nil {
+		return nil, fmt.Errorf("serve: register: %v", err)
+	}
+	rhs := a.RandomRHS(1, rand.New(rand.NewSource(3)))
+	submit := func() error {
+		_, err := srv.Submit(context.Background(), serve.Job{
+			Tenant: "bench", MatrixID: "bench", B: rhs,
+		})
+		return err
+	}
+	if err := submit(); err != nil { // factor once so every timed Submit is warm
+		return nil, fmt.Errorf("serve: warmup solve: %v", err)
+	}
+
+	var failed error
+	res := bestOf3(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := submit(); err != nil {
+				failed = err
+				b.FailNow()
+			}
+		}
+	})
+	if failed != nil {
+		return nil, fmt.Errorf("serve: warm solve: %v", failed)
+	}
+	entries := []perfEntry{{
+		Name:        "Serve/warm-solve",
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: res.AllocsPerOp(),
+		Tol:         serveWarmTol,
+		BudgetNs:    serveWarmBudgetNs,
+	}}
+
+	p99s := make([]time.Duration, serveP99Rounds)
+	for round := range p99s {
+		lat := make([]time.Duration, serveP99Samples)
+		for i := range lat {
+			start := time.Now()
+			if err := submit(); err != nil {
+				return nil, fmt.Errorf("serve: p99 sample: %v", err)
+			}
+			lat[i] = time.Since(start)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		p99s[round] = lat[serveP99Samples*99/100]
+	}
+	sort.Slice(p99s, func(i, j int) bool { return p99s[i] < p99s[j] })
+	return append(entries, perfEntry{
+		Name:     "Serve/warm-p99",
+		NsPerOp:  float64(p99s[serveP99Rounds/2]),
+		Tol:      serveP99Tol,
+		BudgetNs: serveP99BudgetNs,
+	}), nil
+}

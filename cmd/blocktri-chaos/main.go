@@ -8,6 +8,8 @@
 //	blocktri-chaos -seed 1 -plans 32        # the CI smoke configuration
 //	blocktri-chaos -plans 200 -v            # a longer soak, one line per trial
 //	blocktri-chaos -solvers ard,spike       # restrict to a solver subset
+//	blocktri-chaos -service                 # service-level campaign (blocktri-serve)
+//	blocktri-chaos -trial-budget 5s         # flag any trial over five seconds
 //
 // Exit status 0 when the invariant held across every trial, 1 otherwise.
 package main
@@ -18,6 +20,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"blocktri/internal/chaos"
 )
@@ -30,13 +33,27 @@ func main() {
 	maxM := flag.Int("m", 3, "maximum block size")
 	tol := flag.Float64("tol", 1e-8, "relative-residual bound for a solve to count as correct")
 	solvers := flag.String("solvers", "", "comma-separated solver subset (default: all)")
+	budget := flag.Duration("trial-budget", chaos.DefaultTrialBudget,
+		"wall-clock budget per trial; an overrun names the scenario and fails the run (negative disables)")
+	service := flag.Bool("service", false, "run the service-level campaign (concurrent tenants vs a fault-injected blocktri-serve) instead of the solver campaign")
+	tenants := flag.Int("tenants", 5, "service mode: concurrent tenants")
+	requests := flag.Int("requests", 120, "service mode: total requests")
 	verbose := flag.Bool("v", false, "log one line per trial")
 	flag.Parse()
+
+	var logw io.Writer
+	if *verbose {
+		logw = os.Stdout
+	}
+	if *service {
+		runService(*seed, *tenants, *requests, logw)
+		return
+	}
 
 	opts := chaos.Options{
 		Seed: *seed, Plans: *plans,
 		MaxP: *maxP, MaxN: *maxN, MaxM: *maxM,
-		Tol: *tol,
+		Tol: *tol, TrialBudget: *budget,
 	}
 	if *solvers != "" {
 		known := make(map[string]bool, len(chaos.SolverNames))
@@ -53,21 +70,40 @@ func main() {
 			opts.Solvers = append(opts.Solvers, s)
 		}
 	}
-	var logw io.Writer
-	if *verbose {
-		logw = os.Stdout
-	}
 	opts.Log = logw
 
 	rep := chaos.Run(opts)
-	fmt.Printf("blocktri-chaos: seed=%d plans=%d trials=%d solved=%d typed-errors=%d violations=%d\n",
-		*seed, *plans, len(rep.Trials), rep.Solved, rep.TypedErrs, len(rep.Violations))
+	fmt.Printf("blocktri-chaos: seed=%d plans=%d trials=%d solved=%d typed-errors=%d violations=%d overruns=%d\n",
+		*seed, *plans, len(rep.Trials), rep.Solved, rep.TypedErrs, len(rep.Violations), len(rep.Overruns))
 	if !rep.Ok() {
 		for _, v := range rep.Violations {
-			fmt.Printf("  VIOLATION plan %d solver %s (P=%d N=%d M=%d): %s\n",
-				v.Plan, v.Solver, v.P, v.N, v.M, v.Detail)
+			fmt.Printf("  VIOLATION %s: %s\n", v.Scenario(), v.Detail)
+		}
+		for _, v := range rep.Overruns {
+			fmt.Printf("  OVERRUN %s: took %v (budget %v)\n",
+				v.Scenario(), v.Wall.Round(time.Millisecond), *budget)
 		}
 		os.Exit(1)
 	}
-	fmt.Println("invariant held: every trial ended in a correct solution or a clean typed error")
+	fmt.Println("invariant held: every trial ended in a correct solution or a clean typed error within budget")
+}
+
+// runService executes the service-level campaign and exits with its status.
+func runService(seed int64, tenants, requests int, logw io.Writer) {
+	opts := chaos.DefaultServiceOptions(seed)
+	opts.Tenants = tenants
+	opts.Requests = requests
+	opts.Log = logw
+	rep := chaos.RunService(opts)
+	fmt.Printf("blocktri-chaos -service: seed=%d tenants=%d requests=%d solved=%d (warm=%d boosted=%d) typed-errors=%d (shed=%d deadlined=%d circuit=%d) violations=%d wall=%v\n",
+		seed, tenants, rep.Requests, rep.Solved, rep.Warm, rep.Boosted,
+		rep.TypedErrs, rep.Shed, rep.Deadlined, rep.Circuit,
+		len(rep.Violations), rep.Wall.Round(time.Millisecond))
+	if !rep.Ok() {
+		for _, v := range rep.Violations {
+			fmt.Printf("  VIOLATION %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("service invariant held: every request ended in a correct solution or a clean typed error, no leaks, no stalls")
 }

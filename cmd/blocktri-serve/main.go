@@ -1,0 +1,76 @@
+// Command blocktri-serve is the multi-tenant solver service daemon: an
+// HTTP front end over internal/serve. Matrices are registered once and
+// solved many times against cached ARD factorizations; requests against
+// the same matrix are coalesced into multi-RHS panels.
+//
+// Usage:
+//
+//	blocktri-serve -addr :8095 -p 4
+//
+// API (JSON bodies throughout):
+//
+//	POST /v1/matrices/{id}   register a matrix under an id
+//	POST /v1/solve           solve: {"tenant", "matrix_id"|"matrix", "b", "deadline_ms"}
+//	GET  /v1/stats           service counters
+//	GET  /healthz            liveness
+//
+// Overload and breaker rejections map to 503 with a Retry-After header;
+// deadline misses map to 504; structural errors map to 400/404. The
+// daemon drains in-flight work on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"blocktri/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8095", "listen address")
+	p := flag.Int("p", 2, "ranks per solver world")
+	workers := flag.Int("workers", 1, "solver workers (worlds)")
+	cacheMB := flag.Int64("cache-mb", 256, "factor cache budget in MiB")
+	queue := flag.Int("queue", 256, "admission queue depth before shedding")
+	maxPanel := flag.Int("max-panel", 256, "max coalesced right-hand-side columns per solve")
+	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+	seed := flag.Int64("seed", 1, "seed for retry jitter")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:         *workers,
+		P:               *p,
+		CacheBytes:      *cacheMB << 20,
+		QueueDepth:      *queue,
+		MaxPanel:        *maxPanel,
+		DefaultDeadline: *deadline,
+		Seed:            *seed,
+	})
+	hs := &http.Server{Addr: *addr, Handler: newHandler(srv)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("blocktri-serve: listening on %s (P=%d workers=%d)", *addr, *p, *workers)
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		log.Fatalf("blocktri-serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Print("blocktri-serve: draining")
+	shctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shctx); err != nil {
+		log.Printf("blocktri-serve: shutdown: %v", err)
+	}
+	srv.Close()
+}

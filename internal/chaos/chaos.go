@@ -48,9 +48,21 @@ type Options struct {
 	Tol float64
 	// Solvers restricts the run to a subset of SolverNames; nil runs all.
 	Solvers []string
+	// TrialBudget is the wall-clock budget for one (plan, solver) trial.
+	// A trial that takes longer is flagged as an overrun in the report,
+	// naming the scenario — the early-warning signal that a fault path has
+	// started to wedge before it degrades into an outright hang. Zero means
+	// DefaultTrialBudget; negative disables the check.
+	TrialBudget time.Duration
 	// Log, when non-nil, receives one line per trial.
 	Log io.Writer
 }
+
+// DefaultTrialBudget bounds one trial's wall clock when Options.TrialBudget
+// is zero. Every fault scenario is built to resolve in well under a second
+// (tight recv timeouts, short deadlock window), so thirty seconds of slack
+// only trips on a genuine scheduling wedge.
+const DefaultTrialBudget = 30 * time.Second
 
 // DefaultOptions returns the standard chaos configuration for a seed.
 func DefaultOptions(seed int64) Options {
@@ -97,6 +109,15 @@ type Trial struct {
 	Err string
 	// Detail explains a Violated outcome.
 	Detail string
+	// Wall is the trial's wall-clock time; Overrun marks it as having
+	// exceeded the run's per-trial budget.
+	Wall    time.Duration
+	Overrun bool
+}
+
+// Scenario describes the trial compactly for overrun reporting.
+func (t Trial) Scenario() string {
+	return fmt.Sprintf("plan %d solver %s (P=%d N=%d M=%d)", t.Plan, t.Solver, t.P, t.N, t.M)
 }
 
 // Report aggregates a chaos run.
@@ -105,10 +126,14 @@ type Report struct {
 	Solved     int
 	TypedErrs  int
 	Violations []Trial
+	// Overruns lists trials that blew the per-trial wall-clock budget,
+	// regardless of how they were otherwise classified.
+	Overruns []Trial
 }
 
-// Ok reports whether the resilience invariant held across the whole run.
-func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+// Ok reports whether the resilience invariant held across the whole run:
+// no violations and no trial over its wall-clock budget.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 && len(r.Overruns) == 0 }
 
 // plan is the randomized scenario shared by every solver in one iteration.
 type plan struct {
@@ -245,6 +270,10 @@ func Run(opts Options) *Report {
 	if len(solvers) == 0 {
 		solvers = SolverNames
 	}
+	budget := opts.TrialBudget
+	if budget == 0 {
+		budget = DefaultTrialBudget
+	}
 	rep := &Report{}
 	for i := 0; i < opts.Plans; i++ {
 		// One sub-rng per plan index: adding a plan or a solver never
@@ -255,7 +284,13 @@ func Run(opts Options) *Report {
 		a := blocktri.RandomDiagDominant(pl.n, pl.m, rng)
 		b := a.RandomRHS(pl.rhs, rng)
 		for _, name := range solvers {
+			start := time.Now()
 			tr := runTrial(i, name, pl, a, b, opts.Tol)
+			tr.Wall = time.Since(start)
+			if budget > 0 && tr.Wall > budget {
+				tr.Overrun = true
+				rep.Overruns = append(rep.Overruns, tr)
+			}
 			rep.Trials = append(rep.Trials, tr)
 			switch tr.Outcome {
 			case Solved:
@@ -274,6 +309,9 @@ func Run(opts Options) *Report {
 					line += " (" + tr.Err + ")"
 				default:
 					line += " (" + tr.Detail + ")"
+				}
+				if tr.Overrun {
+					line += fmt.Sprintf(" OVERRAN budget: %v > %v", tr.Wall.Round(time.Millisecond), budget)
 				}
 				fmt.Fprintln(opts.Log, line)
 			}

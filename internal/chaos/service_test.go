@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"blocktri/internal/comm"
+)
+
+// TestServiceChaos is the acceptance gate for the serve layer: 100+
+// concurrent requests across 4+ tenants against a fault-injected backend.
+// Every request must end in a correct solution or a clean typed error
+// within its deadline; the campaign must shed or solve everything, leak no
+// goroutines, and never stall one tenant on another's flood.
+func TestServiceChaos(t *testing.T) {
+	opts := DefaultServiceOptions(1234)
+	opts.Tenants = 5
+	opts.Requests = 120
+	rep := RunService(opts)
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if !rep.Ok() {
+		t.Fatalf("service invariant broken (%d violations); report: %+v", len(rep.Violations), rep)
+	}
+	if rep.Solved == 0 {
+		t.Fatal("campaign solved nothing; fault plan too hostile to be informative")
+	}
+	if rep.Warm == 0 {
+		t.Error("no warm-factor hits: the cache amortization never engaged")
+	}
+	if rep.Boosted == 0 {
+		t.Error("no boosted solves: graceful degradation never engaged")
+	}
+	if rep.Stats.Retries == 0 {
+		t.Error("no retries recorded: the injected crash never exercised the retry path")
+	}
+}
+
+// TestServiceChaosSheds runs a deliberately under-provisioned server so
+// load shedding must engage, and verifies sheds are typed, fast, and do
+// not break any other promise.
+func TestServiceChaosSheds(t *testing.T) {
+	opts := DefaultServiceOptions(77)
+	opts.Tenants = 6
+	opts.Requests = 90
+	opts.QueueDepth = 2
+	// No injected faults: this campaign isolates the admission ladder.
+	opts.Fault = &comm.FaultPlan{Seed: 99}
+	rep := RunService(opts)
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if !rep.Ok() {
+		t.Fatalf("shedding campaign broke the invariant: %+v", rep)
+	}
+	if rep.Shed == 0 {
+		t.Skip("queue never filled on this machine; shedding not exercised")
+	}
+	if rep.Solved == 0 {
+		t.Fatal("an overloaded server must still solve what it admits")
+	}
+}
+
+// TestServiceChaosDeterministic: two campaigns with the same seed issue the
+// same requests against the same fault plan. Scheduling still varies, so
+// only the seeded inputs are compared — the request count and the solved+
+// typed partition must both account for every request.
+func TestServiceChaosDeterministic(t *testing.T) {
+	opts := DefaultServiceOptions(5)
+	opts.Requests = 40
+	opts.Tenants = 4
+	opts.Deadline = 5 * time.Second
+	a := RunService(opts)
+	b := RunService(opts)
+	if !a.Ok() || !b.Ok() {
+		t.Fatalf("replayed campaigns violated the invariant: %v / %v", a.Violations, b.Violations)
+	}
+	if a.Requests != b.Requests {
+		t.Fatalf("replay changed the request count: %d vs %d", a.Requests, b.Requests)
+	}
+}

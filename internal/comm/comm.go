@@ -27,6 +27,7 @@
 package comm
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -281,6 +282,23 @@ func (mb *mailbox) expectOf(key msgKey) uint64 {
 	return mb.queue(key).expect
 }
 
+// clear drops every undelivered message, recycling payload storage. Called
+// at the start of each Run: an aborted run legitimately strands in-flight
+// messages, and because tags are deterministic per protocol, a stale
+// message would otherwise be consumed by the next run as if fresh — a
+// silent wrong answer. A clean run leaves nothing pending, so in the
+// steady state this walks empty queues and frees nothing.
+func (mb *mailbox) clear() {
+	mb.mu.Lock()
+	for _, q := range mb.queues {
+		for q.head < len(q.items) {
+			mb.w.pool.put(q.items[q.head].data)
+			q.advance()
+		}
+	}
+	mb.mu.Unlock()
+}
+
 // resetSeq rewinds every queue's expected sequence for a new Run.
 func (mb *mailbox) resetSeq() {
 	mb.mu.Lock()
@@ -373,9 +391,16 @@ type World struct {
 	comms       []*Comm
 	runErrs     []*RankError
 	wg          sync.WaitGroup
+	shutdown    func() // idempotent worker teardown, shared with the finalizer
 
 	res    Resilience
 	faults *faultState // nil unless a FaultPlan is installed
+
+	// runCtx, when non-nil, bounds every Run call (see SetRunContext). It
+	// lets callers that cannot reach the Run sites inside a solver — the
+	// serve layer propagating per-job deadlines into ARD.Factor/SolveTo —
+	// install cancellation out of band.
+	runCtx context.Context
 
 	// Watchdog state: blocked packs each rank's execution state, progress
 	// counts every delivery/park/unpark event, active brackets a Run, and
@@ -414,6 +439,46 @@ type Comm struct {
 	// sendSeq issues per-(dst, tag) sequence numbers.
 	opCount int
 	sendSeq map[sendKey]uint64
+
+	// jitterState is the per-rank splitmix64 stream behind Resilience.Jitter,
+	// lazily seeded from (Resilience.Seed, rank) on the first jittered retry.
+	jitterState uint64
+}
+
+// splitmix64 advances s and returns the next output of the splitmix64
+// generator — a tiny, allocation-free PRNG good enough for decorrelating
+// retry schedules.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// retryJitter returns the multiplicative factor for one backed-off retry
+// window: uniform in [1-J, 1+J] for J = Resilience.Jitter, drawn from this
+// rank's deterministic stream. The stream is seeded once per Comm, so a
+// rank's k-th jittered retry is the same number on every replay with the
+// same Resilience.Seed.
+func (c *Comm) retryJitter() float64 {
+	j := c.world.res.Jitter
+	if j <= 0 {
+		return 1
+	}
+	if j > 1 {
+		j = 1
+	}
+	if c.jitterState == 0 {
+		mix := (uint64(c.rank) + 1) * 0x9e3779b97f4a7c15
+		c.jitterState = uint64(c.world.res.Seed) ^ mix | 1
+	}
+	u := float64(splitmix64(&c.jitterState)>>11) * 0x1p-53 // uniform [0, 1)
+	f := 1 + j*(2*u-1)
+	if f < 0x1p-4 { // keep the window strictly positive
+		f = 0x1p-4
+	}
+	return f
 }
 
 // Rank returns this endpoint's rank in [0, Size).
@@ -505,6 +570,9 @@ func (w *World) ensureWorkers() {
 		w.blocked = make([]atomic.Uint64, w.P)
 		w.wake = make(chan *World, 1)
 		stop := make(chan struct{})
+		var stopOnce sync.Once
+		shutdown := func() { stopOnce.Do(func() { close(stop) }) }
+		w.shutdown = shutdown
 		for r := 0; r < w.P; r++ {
 			w.jobs[r] = make(chan job, 1)
 			w.comms[r] = &Comm{world: w, rank: r}
@@ -513,8 +581,21 @@ func (w *World) ensureWorkers() {
 		go watchdogLoop(w.wake, stop)
 		// The closures must not capture w, or the World could never become
 		// unreachable and the workers would leak.
-		runtime.SetFinalizer(w, func(*World) { close(stop) })
+		runtime.SetFinalizer(w, func(*World) { shutdown() })
 	})
+}
+
+// Close deterministically stops the persistent rank workers and the
+// watchdog. A World that is never closed is still reaped by a finalizer
+// once it becomes unreachable; Close exists for callers that need
+// goroutine-leak-free teardown at a known point (the serve layer's chaos
+// harness counts goroutines before and after a campaign). Close is
+// idempotent. It must not be called while a Run is active, and the World
+// must not be used after Close.
+func (w *World) Close() {
+	w.ensureWorkers()
+	runtime.SetFinalizer(w, nil)
+	w.shutdown()
 }
 
 // Run executes body on p ranks concurrently and blocks until every rank
@@ -529,13 +610,40 @@ func (w *World) ensureWorkers() {
 // Run dispatches to persistent per-rank workers, so a warmed-up world
 // executes it without heap allocation. Runs on one World must be
 // sequential: concurrent Run calls would interleave their messages in the
-// shared mailboxes.
+// shared mailboxes. When a context was installed with SetRunContext, Run is
+// bounded by it exactly as RunContext would be.
 func (w *World) Run(body func(c *Comm)) error {
+	return w.RunContext(w.runCtx, body)
+}
+
+// SetRunContext installs ctx as the context consulted by subsequent Run
+// calls (nil clears it). It exists for callers that cannot reach the Run
+// sites buried inside a solver: the serve layer sets a per-job deadline
+// context before ARD.Factor/SolveTo and clears it after, so cancellation
+// propagates into every nested Run without changing solver signatures. It
+// must be called while no Run is active.
+func (w *World) SetRunContext(ctx context.Context) { w.runCtx = ctx }
+
+// RunContext is Run bounded by ctx: if ctx is canceled or its deadline
+// passes mid-run, every blocked rank is aborted (the same cascade a rank
+// failure triggers) and the call returns an error wrapping ErrCanceled and
+// ctx.Err(). Cancellation is cooperative at communication points — a rank
+// grinding through local computation unwinds at its next send or receive.
+// A genuine rank failure racing the cancellation is reported in preference
+// to the cancellation itself. A nil ctx is plain Run.
+func (w *World) RunContext(ctx context.Context, body func(c *Comm)) error {
 	w.ensureWorkers()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("comm: run not started: %w: %w", ErrCanceled, err)
+		}
+	}
 	// Reset any abort state left by a previous failed Run so the world
-	// stays usable.
+	// stays usable, and drop messages a failed run left in flight — their
+	// tags would collide with this run's protocol.
 	for _, mb := range w.boxes {
 		mb.clearAbort()
+		mb.clear()
 	}
 	for i := range w.runErrs {
 		w.runErrs[i] = nil
@@ -553,12 +661,25 @@ func (w *World) Run(body func(c *Comm)) error {
 	case w.wake <- w:
 	default:
 	}
+	// The cancel monitor lives exactly as long as this Run: it aborts the
+	// mailboxes when ctx fires and is joined before returning, so a late
+	// abort can never poison a subsequent Run. It is built in a separate
+	// method so the nil-ctx fast path stays allocation-free (the monitor
+	// closure would otherwise force its state to escape on every Run).
+	var mon *runMonitor
+	if ctx != nil && ctx.Done() != nil {
+		mon = w.startCancelMonitor(ctx)
+	}
 	w.wg.Add(w.P)
 	for r := 0; r < w.P; r++ {
 		w.jobs[r] <- job{w: w, rank: r, body: body}
 	}
 	w.wg.Wait()
 	w.active.Store(false)
+	canceled := false
+	if mon != nil {
+		canceled = mon.halt()
+	}
 	if de := w.watchErr.Load(); de != nil {
 		return de
 	}
@@ -567,7 +688,40 @@ func (w *World) Run(body func(c *Comm)) error {
 			return re
 		}
 	}
+	if canceled {
+		return fmt.Errorf("comm: run aborted: %w: %w", ErrCanceled, ctx.Err())
+	}
 	return nil
+}
+
+// runMonitor watches one Run's context on a side goroutine. halt joins the
+// goroutine and reports whether the context fired.
+type runMonitor struct {
+	canceled atomic.Bool
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func (w *World) startCancelMonitor(ctx context.Context) *runMonitor {
+	m := &runMonitor{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(m.done)
+		select {
+		case <-ctx.Done():
+			m.canceled.Store(true)
+			for _, mb := range w.boxes {
+				mb.abort()
+			}
+		case <-m.stop:
+		}
+	}()
+	return m
+}
+
+func (m *runMonitor) halt() bool {
+	close(m.stop)
+	<-m.done
+	return m.canceled.Load()
 }
 
 // TotalStats returns the sum of all ranks' counters accumulated by Run
@@ -720,6 +874,11 @@ func (c *Comm) Recv(src, tag int) []float64 {
 		}
 		if timeout > 0 && w.res.Backoff > 1 {
 			timeout = time.Duration(float64(timeout) * w.res.Backoff)
+		}
+		if timeout > 0 {
+			// Jitter the next window so ranks that timed out together do
+			// not retry in lockstep (see Resilience.Jitter).
+			timeout = time.Duration(float64(timeout) * c.retryJitter())
 		}
 	}
 }

@@ -37,6 +37,12 @@ var (
 	// ErrLengthMismatch reports collective participants contributing
 	// vectors of different lengths.
 	ErrLengthMismatch = errors.New("comm: length mismatch")
+
+	// ErrCanceled reports a Run aborted by its context (RunContext or
+	// SetRunContext): a deadline passed or the caller canceled mid-run.
+	// The returned error also wraps ctx.Err(), so errors.Is sees both this
+	// sentinel and context.DeadlineExceeded / context.Canceled.
+	ErrCanceled = errors.New("comm: run canceled")
 )
 
 // RankError is the typed failure World.Run returns when a rank body throws

@@ -1,0 +1,280 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// shortRes is the fast failure-handling config the compound tests run
+// under: tight receive timeouts with jittered backoff and a short deadlock
+// window, so every poisoned scenario resolves in well under a second.
+func shortRes() Resilience {
+	return Resilience{
+		RecvTimeout:   20 * time.Millisecond,
+		MaxRetries:    8,
+		Backoff:       1.5,
+		Jitter:        0.3,
+		Seed:          7,
+		DeadlockAfter: 200 * time.Millisecond,
+	}
+}
+
+// TestCrashDuringStall: one rank parked in an injected infinite stall while
+// a different rank crashes. The crash must win — Run reports the crashed
+// rank's *RankError, the stalled rank unwinds as a cascade victim without
+// reporting anything, and the world stays usable for a clean follow-up Run.
+func TestCrashDuringStall(t *testing.T) {
+	w := NewWorld(3)
+	w.SetResilience(shortRes())
+	w.SetFaultPlan(&FaultPlan{
+		Seed:      11,
+		StallRank: 2, StallAtOp: 1, StallFor: 0, // park rank 2 forever
+		CrashRank: 1, CrashAtOp: 2, // then kill rank 1 mid-protocol
+	})
+	err := w.Run(func(c *Comm) {
+		// A ring of sends/receives so every rank passes fault points.
+		next := (c.Rank() + 1) % c.Size()
+		prev := (c.Rank() + c.Size() - 1) % c.Size()
+		for round := 0; round < 4; round++ {
+			c.Send(next, round, []float64{float64(c.Rank())})
+			c.Release(c.Recv(prev, round))
+		}
+	})
+	var re *RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("Run returned %v, want *RankError", err)
+	}
+	if re.Rank != 1 || !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("got rank %d cause %v, want injected crash on rank 1", re.Rank, re.Err)
+	}
+	// The stalled rank must have been unwound, not left parked: a clean
+	// plan-free Run on the same world proves nothing leaked or wedged.
+	w.SetFaultPlan(nil)
+	if err := w.Run(func(c *Comm) {
+		c.Release(c.Exchange(c.Size()-1-c.Rank(), 9, []float64{1}))
+	}); err != nil {
+		t.Fatalf("world unusable after crash-during-stall: %v", err)
+	}
+}
+
+// TestCorruptAndDropStream: a stream where roughly every message is either
+// dropped or corrupted (and a few duplicated) must still be delivered
+// complete, in order, and bit-exact — corruption is detected by checksum
+// and re-pulled, holes are detected by sequence and retransmitted,
+// duplicates are discarded.
+func TestCorruptAndDropStream(t *testing.T) {
+	const msgs = 50
+	w := NewWorld(2)
+	w.SetResilience(shortRes())
+	w.SetFaultPlan(&FaultPlan{
+		Seed:    23,
+		Drop:    0.45,
+		Corrupt: 0.45,
+		Dup:     0.10,
+	})
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				c.Send(1, 5, []float64{float64(i), float64(i) * 1.5, -float64(i)})
+			}
+			return
+		}
+		for i := 0; i < msgs; i++ {
+			got := c.Recv(0, 5)
+			want := []float64{float64(i), float64(i) * 1.5, -float64(i)}
+			for k := range want {
+				if got[k] != want[k] {
+					Throw(fmt.Errorf("message %d element %d: got %g want %g", i, k, got[k], want[k]))
+				}
+			}
+			c.Release(got)
+		}
+	})
+	if err != nil {
+		t.Fatalf("compound drop+corrupt stream did not recover: %v", err)
+	}
+	if n := w.Pending(); n != 0 {
+		t.Fatalf("%d undelivered messages left behind", n)
+	}
+}
+
+// TestDeadlockAttributionPartialButterfly: rank 2 of a 4-rank butterfly
+// stalls forever between rounds, so the other ranks wedge waiting on it
+// (directly or transitively). The watchdog's DeadlockError must attribute
+// blame: the stalled rank appears as a stall, and at least one live rank is
+// reported blocked in a recv whose src is the stalled rank.
+func TestDeadlockAttributionPartialButterfly(t *testing.T) {
+	w := NewWorld(4)
+	w.SetResilience(Resilience{DeadlockAfter: 150 * time.Millisecond})
+	// Rank 2's ops: round-1 send(3)=1, recv(3)=2, round-2 send(0)=3 — stall
+	// at op 3 so round 1 completes everywhere and round 2 wedges.
+	w.SetFaultPlan(&FaultPlan{Seed: 31, StallRank: 2, StallAtOp: 3, StallFor: 0})
+	err := w.Run(func(c *Comm) {
+		for _, dist := range []int{1, 2} {
+			partner := c.Rank() ^ dist
+			c.Release(c.Exchange(partner, dist, []float64{float64(c.Rank())}))
+		}
+	})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("Run returned %v, want *DeadlockError", err)
+	}
+	var sawStall, sawRecvFromStalled bool
+	for _, b := range de.Blocked {
+		if b.Rank == 2 && b.Op == "stall" {
+			sawStall = true
+		}
+		if b.Op == "recv" && b.Src == 2 {
+			sawRecvFromStalled = true
+		}
+	}
+	if !sawStall {
+		t.Errorf("DeadlockError %v does not attribute the stall to rank 2", de)
+	}
+	if !sawRecvFromStalled {
+		t.Errorf("DeadlockError %v does not name a rank blocked on recv from rank 2", de)
+	}
+}
+
+// TestRunContextDeadline: a rank that never receives its message must be
+// cut loose when the context deadline passes, with the error exposing both
+// ErrCanceled and context.DeadlineExceeded, and the world reusable after.
+func TestRunContextDeadline(t *testing.T) {
+	w := NewWorld(2)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := w.RunContext(ctx, func(c *Comm) {
+		if c.Rank() == 1 {
+			c.Release(c.Recv(0, 1)) // never sent
+		}
+	})
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunContext returned %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt unwinding", elapsed)
+	}
+	if err := w.Run(func(c *Comm) {
+		c.Release(c.Exchange(1-c.Rank(), 2, []float64{3}))
+	}); err != nil {
+		t.Fatalf("world unusable after canceled run: %v", err)
+	}
+}
+
+// TestRunContextPreCanceled: an already-dead context must fail fast without
+// dispatching any rank work.
+func TestRunContextPreCanceled(t *testing.T) {
+	w := NewWorld(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := w.RunContext(ctx, func(c *Comm) { ran = true })
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("body ran despite pre-canceled context")
+	}
+}
+
+// TestSetRunContextPropagates: a context installed with SetRunContext must
+// bound plain Run calls — the path the serve layer uses to push per-job
+// deadlines into solver-internal Runs.
+func TestSetRunContextPropagates(t *testing.T) {
+	w := NewWorld(2)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	w.SetRunContext(ctx)
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Release(c.Recv(1, 3)) // never sent
+		}
+	})
+	w.SetRunContext(nil)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Run under SetRunContext returned %v, want ErrCanceled", err)
+	}
+	if err := w.Run(func(c *Comm) {}); err != nil {
+		t.Fatalf("clearing the run context did not restore plain runs: %v", err)
+	}
+}
+
+// TestWorldClose: Close must stop the persistent rank workers and watchdog
+// deterministically (no waiting on the garbage collector), and be
+// idempotent.
+func TestWorldClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	worlds := make([]*World, 8)
+	for i := range worlds {
+		worlds[i] = NewWorld(4)
+		if err := worlds[i].Run(func(c *Comm) {
+			c.Release(c.Exchange(c.Rank()^1, 1, []float64{1}))
+		}); err != nil {
+			t.Fatalf("warm-up run: %v", err)
+		}
+	}
+	for _, w := range worlds {
+		w.Close()
+		w.Close() // idempotent
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not drain after Close: before=%d now=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRetryJitterDeterministic: the jitter stream is deterministic per
+// (seed, rank), stays within the configured band, and differs across ranks
+// so synchronized timeouts fan out.
+func TestRetryJitterDeterministic(t *testing.T) {
+	draw := func(seed int64, rank, n int) []float64 {
+		w := NewWorld(rank + 1)
+		w.SetResilience(Resilience{Jitter: 0.25, Seed: seed})
+		w.ensureWorkers()
+		c := w.comms[rank]
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = c.retryJitter()
+		}
+		return out
+	}
+	a := draw(42, 1, 16)
+	b := draw(42, 1, 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identically seeded worlds: %g vs %g", i, a[i], b[i])
+		}
+		if a[i] < 0.75 || a[i] > 1.25 {
+			t.Fatalf("draw %d = %g outside [0.75, 1.25]", i, a[i])
+		}
+	}
+	other := draw(42, 0, 16)
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("ranks 0 and 1 share a jitter stream; retries would stay synchronized")
+	}
+	// Jitter disabled: the factor must be exactly 1 so the backoff schedule
+	// is unchanged for existing configurations.
+	w := NewWorld(1)
+	w.ensureWorkers()
+	if f := w.comms[0].retryJitter(); f != 1 {
+		t.Fatalf("zero-jitter factor = %g, want 1", f)
+	}
+}

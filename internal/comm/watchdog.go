@@ -33,6 +33,17 @@ type Resilience struct {
 	MaxRetries int
 	// Backoff multiplies the receive timeout after each retry when > 1.
 	Backoff float64
+	// Jitter randomizes each backed-off retry window by up to ±Jitter
+	// (a fraction in [0, 1]; 0 disables). Fixed backoff synchronizes the
+	// retry schedules of every rank that timed out in the same round, so
+	// their next waits expire — and their retransmit pulls fire — in
+	// lockstep; jitter decorrelates the storm. Draws come from a per-rank
+	// deterministic stream derived from Seed, so a jittered configuration
+	// replays identically under a fixed seed (chaos runs stay reproducible).
+	Jitter float64
+	// Seed parameterizes the per-rank jitter streams. Two worlds with the
+	// same Seed (and the same per-rank retry sequences) jitter identically.
+	Seed int64
 	// DeadlockAfter is the no-progress window before the watchdog declares
 	// a deadlock. 0 means DefaultDeadlockAfter.
 	DeadlockAfter time.Duration

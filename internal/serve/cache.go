@@ -1,0 +1,219 @@
+// The factor cache: a content-hash-keyed LRU of ARD factorizations with
+// byte-size accounting, pin counts, and singleflight deduplication.
+//
+// Keys are content hashes of the matrix, so two tenants submitting the same
+// matrix under different ids share one factorization — the amortization the
+// whole service exists to exploit. Entries are pinned while a factorization
+// is in flight or a solve is using them; eviction walks the LRU tail and
+// never touches a pinned entry, so cache pressure (or a flood of shed
+// requests) can never yank a factor out from under another tenant's
+// in-flight work. Failed factorizations are not cached — the circuit
+// breaker, not the cache, remembers repeat offenders.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"blocktri/internal/blocktri"
+	"blocktri/internal/core"
+)
+
+// MatrixKey returns the content key of a block tridiagonal matrix: a
+// 128-bit hex digest over its canonical binary serialization. Equal
+// matrices hash equal regardless of how they were built.
+func MatrixKey(a *blocktri.Matrix) (string, error) {
+	h := sha256.New()
+	if _, err := a.WriteTo(h); err != nil {
+		return "", fmt.Errorf("serve: hashing matrix: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16]), nil
+}
+
+// matrixBytes is the retained payload size of a block tridiagonal matrix.
+func matrixBytes(a *blocktri.Matrix) int64 {
+	blocks := int64(3*a.N - 2)
+	return 8 * blocks * int64(a.M) * int64(a.M)
+}
+
+// factorEntry is one cached factorization. ready is closed when the entry
+// leaves the in-flight state; waiters then read ard/err. pins counts
+// in-flight factorizations plus solves currently using the entry; a pinned
+// entry is never evicted.
+type factorEntry struct {
+	key   string
+	a     *blocktri.Matrix
+	ard   *core.ARD
+	bytes int64
+	err   error
+	ready chan struct{}
+
+	pins int
+	// LRU intrusive list links; nil for in-flight entries (they are not in
+	// the list until the factorization lands).
+	prev, next *factorEntry
+	inLRU      bool
+}
+
+// cacheStats are the cache's own counters, reported inside Stats.
+type cacheStats struct {
+	Hits          int64 // request found a ready factor
+	Misses        int64 // request triggered a factorization
+	InflightJoins int64 // request piggybacked on a factorization in flight
+	Evictions     int64
+}
+
+// factorCache is the LRU. head is most recently used, tail next to evict.
+type factorCache struct {
+	mu       sync.Mutex
+	capBytes int64
+	bytes    int64
+	entries  map[string]*factorEntry
+	head     *factorEntry
+	tail     *factorEntry
+	stats    cacheStats
+}
+
+func newFactorCache(capBytes int64) *factorCache {
+	return &factorCache{capBytes: capBytes, entries: make(map[string]*factorEntry)}
+}
+
+// acquire returns the entry for key with one pin held by the caller, who
+// must release it after the solve. Exactly one concurrent caller runs
+// build (without the cache lock); everyone else for the same key waits on
+// the same entry — the singleflight guarantee. warm reports whether the
+// factor was already resident (true) as opposed to built or awaited now.
+func (fc *factorCache) acquire(key string, build func() (*core.ARD, *blocktri.Matrix, int64, error)) (e *factorEntry, warm bool, err error) {
+	fc.mu.Lock()
+	if e = fc.entries[key]; e != nil {
+		e.pins++
+		inflight := !isReady(e.ready)
+		if inflight {
+			fc.stats.InflightJoins++
+		} else {
+			fc.stats.Hits++
+			fc.touch(e)
+		}
+		fc.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			fc.release(e)
+			return nil, false, e.err
+		}
+		return e, !inflight, nil
+	}
+
+	e = &factorEntry{key: key, pins: 1, ready: make(chan struct{})}
+	fc.entries[key] = e
+	fc.stats.Misses++
+	fc.mu.Unlock()
+
+	ard, a, bytes, berr := build()
+
+	fc.mu.Lock()
+	if berr != nil {
+		e.err = berr
+		delete(fc.entries, key) // failures are not cached
+		e.pins--
+		close(e.ready)
+		fc.mu.Unlock()
+		return nil, false, berr
+	}
+	e.ard, e.a, e.bytes = ard, a, bytes
+	fc.bytes += bytes
+	fc.pushFront(e)
+	fc.evictLocked()
+	close(e.ready)
+	fc.mu.Unlock()
+	return e, false, nil
+}
+
+// release drops one pin and reclaims space if the cache ran over capacity
+// while the entry was pinned.
+func (fc *factorCache) release(e *factorEntry) {
+	fc.mu.Lock()
+	e.pins--
+	fc.evictLocked()
+	fc.mu.Unlock()
+}
+
+// evictLocked removes least-recently-used unpinned entries until the cache
+// fits its capacity. Pinned entries — factorizations in flight or factors
+// under an active solve — are skipped unconditionally.
+func (fc *factorCache) evictLocked() {
+	for fc.bytes > fc.capBytes {
+		victim := fc.tail
+		for victim != nil && victim.pins > 0 {
+			victim = victim.prev
+		}
+		if victim == nil {
+			return // everything resident is pinned; stay over budget
+		}
+		fc.unlink(victim)
+		delete(fc.entries, victim.key)
+		fc.bytes -= victim.bytes
+		fc.stats.Evictions++
+	}
+}
+
+// contains reports whether key is resident and ready (test/diagnostic use).
+func (fc *factorCache) contains(key string) bool {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	e := fc.entries[key]
+	return e != nil && isReady(e.ready)
+}
+
+// snapshot returns the counters and current byte footprint.
+func (fc *factorCache) snapshot() (cacheStats, int64) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.stats, fc.bytes
+}
+
+func isReady(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// touch moves e to the LRU head. Callers hold fc.mu.
+func (fc *factorCache) touch(e *factorEntry) {
+	if !e.inLRU || fc.head == e {
+		return
+	}
+	fc.unlink(e)
+	fc.pushFront(e)
+}
+
+func (fc *factorCache) pushFront(e *factorEntry) {
+	e.prev, e.next = nil, fc.head
+	if fc.head != nil {
+		fc.head.prev = e
+	}
+	fc.head = e
+	if fc.tail == nil {
+		fc.tail = e
+	}
+	e.inLRU = true
+}
+
+func (fc *factorCache) unlink(e *factorEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		fc.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		fc.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	e.inLRU = false
+}

@@ -1,0 +1,81 @@
+// Typed error vocabulary for the serve layer. Every way a request can fail
+// maps to one of these sentinels (match with errors.Is); the structured
+// variants carry retry hints so clients can implement honest backoff
+// instead of hammering an overloaded service.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+var (
+	// ErrOverloaded reports a request shed at admission: the bounded queue
+	// is full. The concrete error is an *OverloadError with a RetryAfter
+	// hint. Shedding never touches the factor cache — a shed request cannot
+	// evict or delay another tenant's work.
+	ErrOverloaded = errors.New("serve: overloaded")
+
+	// ErrCircuitOpen reports a request rejected because its matrix tripped
+	// the factor circuit breaker (repeated factor failures). The concrete
+	// error is a *CircuitError with the cooldown remaining.
+	ErrCircuitOpen = errors.New("serve: circuit open")
+
+	// ErrDeadlineExceeded reports a request that did not complete before
+	// its deadline. The solve it rode in is aborted through the comm
+	// layer's run context, so the ranks unwind instead of computing a
+	// result nobody is waiting for.
+	ErrDeadlineExceeded = errors.New("serve: deadline exceeded")
+
+	// ErrCanceled reports a request whose submitting context was canceled
+	// before a result was produced.
+	ErrCanceled = errors.New("serve: canceled")
+
+	// ErrUnknownMatrix reports a job referencing a MatrixID that was never
+	// registered.
+	ErrUnknownMatrix = errors.New("serve: unknown matrix id")
+
+	// ErrBadRequest reports a structurally invalid job: no right-hand side,
+	// neither matrix nor id, or a shape mismatch.
+	ErrBadRequest = errors.New("serve: bad request")
+
+	// ErrClosed reports a job submitted to (or still queued in) a server
+	// that has shut down.
+	ErrClosed = errors.New("serve: server closed")
+)
+
+// OverloadError is the concrete shed error: the admission queue was full.
+type OverloadError struct {
+	// Queued is the queue depth observed at admission time.
+	Queued int
+	// RetryAfter estimates when capacity will free up, derived from the
+	// queue depth and the recent per-job service time. It is a hint, not a
+	// promise.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: overloaded (%d queued, retry after %v)", e.Queued, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// CircuitError is the concrete circuit-breaker rejection.
+type CircuitError struct {
+	// Key is the matrix content key whose breaker is open.
+	Key string
+	// Failures is the consecutive factor-failure count that opened it.
+	Failures int
+	// RetryAfter is the cooldown remaining before a probe is admitted.
+	RetryAfter time.Duration
+}
+
+func (e *CircuitError) Error() string {
+	return fmt.Sprintf("serve: circuit open for matrix %s after %d factor failures (retry after %v)",
+		e.Key, e.Failures, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrCircuitOpen) match.
+func (e *CircuitError) Is(target error) bool { return target == ErrCircuitOpen }

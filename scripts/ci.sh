@@ -16,10 +16,16 @@ go test -race ./...
 # The invariant (docs/RESILIENCE.md): each trial ends in a correct solution
 # or a clean typed error — never a hang, never a silent wrong answer.
 go run ./cmd/blocktri-chaos -seed 1 -plans 32
+# Service chaos, under the race detector: concurrent tenants against a
+# fault-injected blocktri-serve backend. Every request must end in a correct
+# solution or a clean typed error within deadline — no hangs, no goroutine
+# leaks, no cross-tenant stalls (make serve-chaos).
+go run -race ./cmd/blocktri-chaos -service -seed 1 -tenants 5 -requests 120
 # Perf gate: re-measure the hot paths and fail on >15% ns/op regression or
 # any allocs/op increase against the committed BENCH_*.json baselines —
 # the batched ARD solve (ARDSolve/R={1,64,256}), the GEMM kernel tiers
-# including the skinny panel shapes the panelized solve issues, and the
-# lint suite. After an intentional perf change, refresh the baselines with
-# `make bench-baseline`.
+# including the skinny panel shapes the panelized solve issues, the lint
+# suite, and the serve warm-factor path (wider, budget-backed gates; see
+# perf_serve.go). After an intentional perf change, refresh the baselines
+# with `make bench-baseline`.
 go run ./cmd/blocktri-bench -perf compare
