@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-cold lint-sarif lint-stats lint-watch test race bench bench-panel bench-baseline bench-compare verify chaos chaos-soak serve-chaos experiments experiments-quick ci clean
+.PHONY: all build vet lint lint-cold lint-sarif lint-stats lint-watch lint-concurrency test race bench bench-panel bench-baseline bench-compare verify chaos chaos-soak serve-chaos experiments experiments-quick ci clean
 
 all: build vet lint test
 
@@ -33,6 +33,11 @@ lint-stats:
 # Re-lint on every change, printing finding deltas, until interrupted.
 lint-watch:
 	$(GO) run ./cmd/blocktri-lint -watch ./...
+
+# Just the concurrency-safety trio (goroutine leaks, lock ordering,
+# context flow) — a quick gate while working on the service stack.
+lint-concurrency:
+	$(GO) run ./cmd/blocktri-lint -analyzers goleak,lockorder,ctxflow ./...
 
 test:
 	$(GO) test ./...

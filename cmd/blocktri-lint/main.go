@@ -4,11 +4,14 @@
 // ones built on the dataflow engine: wsescape (arena-lifetime), poolrelease
 // (pooled-buffer leaks), errdiscard (dropped error results), commshape
 // (SPMD send/recv pairing) and blockshape (symbolic block-dimension
-// conformance of mat call sites). The flow-sensitive analyzers consult
-// interprocedural function summaries computed bottom-up over a per-package
-// call graph; -interprocedural=false turns the layer off. Lint:ignore
-// directives are themselves audited (the "suppress" pseudo-analyzer) when
-// the full suite runs.
+// conformance of mat call sites), plus the concurrency-safety trio: goleak
+// (goroutines with no termination tie), lockorder (lock-order cycles and
+// blocking while locked) and ctxflow (context forwarding and cancel
+// obligations). The flow-sensitive analyzers consult interprocedural
+// function summaries computed bottom-up over a per-package call graph;
+// -interprocedural=false turns the layer off. Lint:ignore directives are
+// themselves audited (the "suppress" pseudo-analyzer) when the full suite
+// runs.
 //
 // Runs are incremental by default: per-package findings, directives and
 // function summaries persist in a content-addressed cache
@@ -34,6 +37,7 @@
 //	blocktri-lint ./...             # lint the whole module (the default)
 //	blocktri-lint -floateq=false ./...
 //	blocktri-lint -only commshape ./...
+//	blocktri-lint -analyzers goleak,lockorder,ctxflow ./...
 //	blocktri-lint -interprocedural=false ./...
 //	blocktri-lint -format json -stats ./...
 //	blocktri-lint -format text,sarif -sarif-out reports/lint.sarif ./...
@@ -80,6 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer ("+a.Doc+")")
 	}
 	only := fs.String("only", "", "comma-separated list of analyzers to run (overrides the per-analyzer flags)")
+	subset := fs.String("analyzers", "", "comma-separated subset of analyzers to run, e.g. -analyzers goleak,lockorder,ctxflow (same semantics as -only)")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	format := fs.String("format", "text", "comma-separated output formats: text, json, sarif")
 	sarifOut := fs.String("sarif-out", "", "write the SARIF report to this file instead of stdout (required when sarif is combined with another format)")
@@ -132,9 +137,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	if *only != "" {
+	if *only != "" && *subset != "" {
+		fmt.Fprintln(stderr, "blocktri-lint: -analyzers and -only are the same selector; pass only one")
+		return 2
+	}
+	if pick := *only + *subset; pick != "" {
 		selected := make(map[string]bool)
-		for _, name := range strings.Split(*only, ",") {
+		for _, name := range strings.Split(pick, ",") {
 			name = strings.TrimSpace(name)
 			if _, ok := enabled[name]; !ok {
 				fmt.Fprintf(stderr, "blocktri-lint: unknown analyzer %q (use -list)\n", name)

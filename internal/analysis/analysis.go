@@ -74,6 +74,9 @@ func Analyzers() []*Analyzer {
 		errDiscardAnalyzer,
 		commShapeAnalyzer,
 		blockShapeAnalyzer,
+		goLeakAnalyzer,
+		lockOrderAnalyzer,
+		ctxFlowAnalyzer,
 	}
 }
 

@@ -42,7 +42,7 @@ import (
 // cacheSchemaVersion is baked into both the entry payload and the run
 // configuration hash. Bump it whenever the entry format or the meaning of
 // any cached field changes; old entries then miss and are swept.
-const cacheSchemaVersion = 2
+const cacheSchemaVersion = 3
 
 // DefaultCacheDir returns the default persistent cache location for a
 // module root: <root>/.blocktri-lint-cache.
@@ -118,6 +118,9 @@ type cachedFuncSummary struct {
 	Comm       []sumCommSite `json:"comm,omitempty"`
 	CommOpaque bool          `json:"comm_opaque,omitempty"`
 	Dims       []cachedDims  `json:"dims,omitempty"`
+	Spawns     []sumSpawn    `json:"spawns,omitempty"`
+	Locks      []string      `json:"locks,omitempty"`
+	FuncSinks  uint32        `json:"func_sinks,omitempty"`
 }
 
 type cachedDims struct {
@@ -341,6 +344,9 @@ func encodeSummaries(sums pkgSummaries) []cachedFuncSummary {
 			ErrLabel:   s.ErrLabel,
 			Comm:       s.Comm,
 			CommOpaque: s.CommOpaque,
+			Spawns:     s.Spawns,
+			Locks:      s.Locks,
+			FuncSinks:  s.FuncSinks,
 		}
 		for _, d := range s.Dims {
 			cs.Dims = append(cs.Dims, cachedDims{Rows: encodeTerm(d.Rows), Cols: encodeTerm(d.Cols)})
@@ -375,6 +381,14 @@ func decodeSummaries(pkg *Package, e *cacheEntry) (pkgSummaries, SummaryStats, b
 				return nil, SummaryStats{}, false
 			}
 		}
+		for _, sp := range cs.Spawns {
+			if sp.Param < 0 || sp.Param >= cs.NumParams || (sp.Kind != "close" && sp.Kind != "wait") {
+				return nil, SummaryStats{}, false
+			}
+		}
+		if len(cs.Locks) > maxSummaryLocks {
+			return nil, SummaryStats{}, false
+		}
 		s := &FuncSummary{
 			Fn:         f,
 			NumParams:  cs.NumParams,
@@ -385,6 +399,9 @@ func decodeSummaries(pkg *Package, e *cacheEntry) (pkgSummaries, SummaryStats, b
 			ErrLabel:   cs.ErrLabel,
 			Comm:       cs.Comm,
 			CommOpaque: cs.CommOpaque,
+			Spawns:     cs.Spawns,
+			Locks:      cs.Locks,
+			FuncSinks:  cs.FuncSinks,
 		}
 		if s.CheckoutOf == nil {
 			s.CheckoutOf = make([]int, 0)

@@ -177,6 +177,9 @@ func TestInterproceduralDelta(t *testing.T) {
 		{"errdiscard", 1},
 		{"commshape", -1},
 		{"blockshape", 2},
+		{"goleak", 1},    // helperLeak: the Spawns facet lands the obligation at the call site
+		{"lockorder", 2}, // deOrder/edOrder: the cycle only closes through Locks facets
+		{"ctxflow", 1},   // interpLeak: FuncSinks proves drop ignores the cancel
 	}
 	byName := make(map[string]*Analyzer)
 	for _, a := range Analyzers() {

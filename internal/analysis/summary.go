@@ -77,6 +77,32 @@ type FuncSummary struct {
 	// Dims[i] gives the symbolic dimensions of matrix result i as linear
 	// terms over the parameters, when every return path agrees.
 	Dims []sumDims
+
+	// Spawns lists goroutines the function launches whose termination is
+	// tied to exactly one of its parameters: the caller inherits the
+	// close/Wait obligation for the argument it passed. May-semantics
+	// (goleak's call-site attribution facet).
+	Spawns []sumSpawn
+
+	// Locks is the sorted set of module-global lock keys the function may
+	// acquire, directly or through summarized callees (lockorder's
+	// call-graph condensation facet). May-semantics, capped at
+	// maxSummaryLocks.
+	Locks []string
+
+	// FuncSinks: bit i set means function-typed parameter i is mentioned
+	// somewhere in the body and so may be called or stored. A clear bit
+	// proves the parameter is ignored, which keeps a caller's cancel
+	// obligation alive (ctxflow). The empty summary claims every bit.
+	FuncSinks uint32
+}
+
+// sumSpawn is one parameter-tied goroutine launch of a summarized function:
+// the goroutine stops when the caller closes (Kind "close") or Waits on
+// (Kind "wait") the argument bound to parameter Param.
+type sumSpawn struct {
+	Param int    `json:"param"`
+	Kind  string `json:"kind"`
 }
 
 // sumCommSite is one Send/Recv of a summarized function, affine in an int
@@ -335,6 +361,7 @@ func emptySummary(f *types.Func) *FuncSummary {
 	}
 	s.ErrLabel = make([]string, s.NumResults)
 	s.Dims = make([]sumDims, s.NumResults)
+	s.FuncSinks = ^uint32(0)
 	return s
 }
 
@@ -344,6 +371,7 @@ func optimisticSummary(f *types.Func) *FuncSummary {
 	s := emptySummary(f)
 	s.Releases = ^uint32(0)
 	s.Borrows = ^uint32(0)
+	s.FuncSinks = 0 // may-fact: grows upward from "no parameter sinks"
 	return s
 }
 
@@ -351,11 +379,24 @@ func summariesEqual(a, b *FuncSummary) bool {
 	if a.Releases != b.Releases || a.Borrows != b.Borrows || a.CommOpaque != b.CommOpaque {
 		return false
 	}
-	if len(a.Comm) != len(b.Comm) {
+	if a.FuncSinks != b.FuncSinks {
+		return false
+	}
+	if len(a.Comm) != len(b.Comm) || len(a.Spawns) != len(b.Spawns) || len(a.Locks) != len(b.Locks) {
 		return false
 	}
 	for i := range a.Comm {
 		if a.Comm[i] != b.Comm[i] {
+			return false
+		}
+	}
+	for i := range a.Spawns {
+		if a.Spawns[i] != b.Spawns[i] {
+			return false
+		}
+	}
+	for i := range a.Locks {
+		if a.Locks[i] != b.Locks[i] {
 			return false
 		}
 	}
@@ -414,6 +455,7 @@ func (m *Module) computeSummary(pkg *Package, n *FuncNode, cur pkgSummaries) *Fu
 	s.sliceOwnership(sum)
 	s.returnFacets(sum)
 	s.commFacet(sum)
+	s.concurrencyFacets(sum)
 	return sum
 }
 

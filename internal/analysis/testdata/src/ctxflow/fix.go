@@ -1,0 +1,109 @@
+// Package ctxflow is a fixture for the ctxflow analyzer. Expectation
+// comments are of the form: want `regexp` (one per expected finding on the
+// line). Wants reflect the default interprocedural run; the summary-only
+// delta is pinned by TestInterproceduralDelta.
+package ctxflow
+
+import (
+	"context"
+	"time"
+
+	"blocktri/internal/comm"
+)
+
+func use(context.Context) {}
+
+// deferred is the canonical correct shape.
+func deferred(parent context.Context) {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	use(ctx)
+}
+
+// discarded throws the cancel function away outright.
+func discarded(parent context.Context) {
+	ctx, _ := context.WithTimeout(parent, time.Second) // want `cancel function of context\.WithTimeout discarded`
+	use(ctx)
+}
+
+// partial cancels on one branch only.
+func partial(parent context.Context, flag bool) {
+	ctx, cancel := context.WithCancel(parent) // want `context\.WithCancel's cancel function runs on some paths but not all`
+	use(ctx)
+	if flag {
+		cancel()
+	}
+}
+
+// rebound drops the first obligation by rebinding cancel before calling it.
+func rebound(parent context.Context) {
+	ctx, cancel := context.WithCancel(parent) // want `context\.WithCancel's cancel function is never called on any path`
+	use(ctx)
+	ctx, cancel = context.WithCancel(parent)
+	defer cancel()
+	use(ctx)
+}
+
+// captured cancels are out of the intraprocedural view: tracking stops.
+func captured(parent context.Context) {
+	ctx, cancel := context.WithCancel(parent)
+	go func() {
+		use(ctx)
+		cancel()
+	}()
+}
+
+type holder struct {
+	ctx context.Context
+}
+
+// store parks the context in a struct, where it outlives the call.
+func store(ctx context.Context, h *holder) {
+	h.ctx = ctx // want `context stored into a struct field`
+}
+
+func storeLit(ctx context.Context) holder {
+	return holder{ctx: ctx} // want `context stored into a struct field`
+}
+
+// restart launches from a fresh root despite having a ctx to forward.
+func restart(ctx context.Context) {
+	use(context.Background()) // want `context\.Background\(\) passed to a callee while the caller's ctx is in scope`
+	use(ctx)
+}
+
+// ignored accepts a ctx, never reads it, and blocks anyway.
+func ignored(ctx context.Context, w *comm.World) error {
+	return w.Run(func(c *comm.Comm) {}) // want `ctx accepted but never used: World\.Run blocks without the caller's cancellation`
+}
+
+func ignoredRecv(ctx context.Context, c *comm.Comm) []float64 {
+	return c.Recv(0, 3) // want `ctx accepted but never used: comm\.Recv blocks without the caller's cancellation`
+}
+
+// forwarded threads the ctx through, which is the whole point.
+func forwarded(ctx context.Context, w *comm.World) error {
+	return w.RunContext(ctx, func(c *comm.Comm) {})
+}
+
+// drop provably ignores its argument, so handing the cancel over changes
+// nothing: the obligation stays with the caller. Only the summary knows.
+func drop(cancel context.CancelFunc) {}
+
+// interpLeak is only visible interprocedurally (TestInterproceduralDelta):
+// without drop's summary the hand-off transfers the obligation.
+func interpLeak(parent context.Context) {
+	ctx, cancel := context.WithCancel(parent) // want `context\.WithCancel's cancel function is never called on any path`
+	use(ctx)
+	drop(cancel)
+}
+
+// invoke really does run the cancel it is given, so the hand-off satisfies
+// the obligation under both modes.
+func invoke(cancel context.CancelFunc) { cancel() }
+
+func handedOff(parent context.Context) {
+	ctx, cancel := context.WithCancel(parent)
+	use(ctx)
+	invoke(cancel)
+}

@@ -1,0 +1,175 @@
+// Package goleak is a fixture for the goleak analyzer. Expectation comments
+// are of the form: want `regexp` (one per expected finding on the line).
+// Wants reflect the default interprocedural run; the summary-only delta is
+// pinned by TestInterproceduralDelta.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work(int) {}
+
+// untied loops forever with nothing that could ever stop it.
+func untied() {
+	go func() { // want `goroutine has no termination tie`
+		for {
+			work(0)
+		}
+	}()
+}
+
+// ctxTied observes ctx.Done: the context's owner bounds its lifetime.
+func ctxTied(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				work(v)
+			}
+		}
+	}()
+}
+
+// closed drains a channel this function closes before returning.
+func closed() {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			work(v)
+		}
+	}()
+	ch <- 1
+	close(ch)
+}
+
+// neverClosed owes the close and never delivers it.
+func neverClosed() {
+	ch := make(chan int)
+	go func() { // want `goroutine is never signalled to stop: close\(ch\) runs on no path to return`
+		for v := range ch {
+			work(v)
+		}
+	}()
+}
+
+// partialClose only closes on one branch.
+func partialClose(flag bool) {
+	ch := make(chan int)
+	go func() { // want `goroutine is signalled to stop on some paths but not all: close\(ch\) must run on every path to return`
+		for v := range ch {
+			work(v)
+		}
+	}()
+	if flag {
+		close(ch)
+	}
+}
+
+// joined is the WaitGroup discipline done right.
+func joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// notJoined calls Done into a WaitGroup nobody Waits on.
+func notJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine is never signalled to stop: wg\.Wait\(\) runs on no path to return`
+		defer wg.Done()
+		work(1)
+	}()
+}
+
+// pump is spawned by name below; its range-over-chan termination tie maps
+// back to the caller's argument.
+func pump(ch chan int) {
+	for v := range ch {
+		work(v)
+	}
+}
+
+func namedClosed() {
+	ch := make(chan int)
+	go pump(ch)
+	close(ch)
+}
+
+func namedLeak() {
+	ch := make(chan int)
+	go pump(ch) // want `goroutine running pump is never signalled to stop: close\(ch\) runs on no path to return`
+}
+
+// managed blocks on a field the spawning scope cannot signal: its owner is
+// assumed to stop it.
+type box struct {
+	stop chan struct{}
+}
+
+func managed(b *box) {
+	go func() {
+		for {
+			select {
+			case <-b.stop:
+				return
+			}
+		}
+	}()
+}
+
+// escapes hands the channel to an untracked callee, which takes the signal
+// obligation with it.
+func escapes(sink func(chan int)) {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			work(v)
+		}
+	}()
+	sink(ch)
+}
+
+// gate is the one-shot wake idiom: a send satisfies a receive tie exactly
+// like a close does.
+func gate() {
+	g := make(chan struct{})
+	go func() {
+		<-g
+		work(1)
+	}()
+	g <- struct{}{}
+}
+
+// spawnPump launches a goroutine tied to its own parameter; the summary
+// Spawns facet exports the close obligation to every call site.
+func spawnPump(ch chan int) {
+	go func() {
+		for v := range ch {
+			work(v)
+		}
+	}()
+}
+
+func helperClosed() {
+	ch := make(chan int)
+	spawnPump(ch)
+	close(ch)
+}
+
+// helperLeak is only visible interprocedurally: without spawnPump's summary
+// the call is just a hand-off (see TestInterproceduralDelta).
+func helperLeak() {
+	ch := make(chan int)
+	spawnPump(ch) // want `goroutine spawned by spawnPump is never signalled to stop: close\(ch\) runs on no path to return`
+}

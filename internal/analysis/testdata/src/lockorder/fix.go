@@ -1,0 +1,164 @@
+// Package lockorder is a fixture for the lockorder analyzer. Expectation
+// comments are of the form: want `regexp` (one per expected finding on the
+// line). Wants reflect the default interprocedural run; the summary-only
+// delta is pinned by TestInterproceduralDelta.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+	cv  = sync.NewCond(&muC)
+)
+
+func work(int) {}
+
+func needsWork() bool { return false }
+
+// abOrder and baOrder take the two locks in opposite orders: the classic
+// deadlock pair. Each opposing acquisition lies on the cycle.
+func abOrder() {
+	muA.Lock()
+	muB.Lock() // want `lock-order cycle: lockorder\.muB is acquired while lockorder\.muA is held`
+	work(1)
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func baOrder() {
+	muB.Lock()
+	muA.Lock() // want `lock-order cycle: lockorder\.muA is acquired while lockorder\.muB is held`
+	work(2)
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// nestedOK takes a consistent order everywhere: an edge, but no cycle.
+func nestedOK() {
+	muA.Lock()
+	muC.Lock()
+	work(3)
+	muC.Unlock()
+	muA.Unlock()
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// reenter re-acquires a held mutex: sync mutexes are not reentrant.
+func (g *guarded) reenter() {
+	g.mu.Lock()
+	g.mu.Lock() // want `lock lockorder\.guarded\.mu acquired while already held`
+	g.n++
+	g.mu.Unlock()
+	g.mu.Unlock()
+}
+
+// --- blocking while holding a lock ------------------------------------------
+
+func sendLocked(ch chan int) {
+	muC.Lock()
+	ch <- 1 // want `channel send while muC is locked`
+	muC.Unlock()
+}
+
+func recvDeferred(ch chan int) int {
+	muC.Lock()
+	defer muC.Unlock()
+	return <-ch // want `channel receive while muC is locked`
+}
+
+func selectLocked(a, b chan int) {
+	muC.Lock()
+	defer muC.Unlock()
+	select { // want `select with no default while muC is locked`
+	case v := <-a:
+		work(v)
+	case v := <-b:
+		work(v)
+	}
+}
+
+// pollLocked never blocks: a select with a default just probes.
+func pollLocked(a chan int) {
+	muC.Lock()
+	defer muC.Unlock()
+	select {
+	case v := <-a:
+		work(v)
+	default:
+	}
+}
+
+func rangeLocked(ch chan int) {
+	muC.Lock()
+	defer muC.Unlock()
+	for v := range ch { // want `range over channel while muC is locked`
+		work(v)
+	}
+}
+
+func waitLocked(wg *sync.WaitGroup) {
+	muC.Lock()
+	defer muC.Unlock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while muC is locked`
+}
+
+// condWait holds exactly the cond's own mutex: that is the Wait contract
+// (Wait unlocks it while parked), so nothing is reported.
+func condWait() {
+	muC.Lock()
+	for needsWork() {
+		cv.Wait()
+	}
+	muC.Unlock()
+}
+
+// condWaitTwo parks with a second lock still held.
+func condWaitTwo() {
+	muA.Lock()
+	muC.Lock()
+	for needsWork() {
+		cv.Wait() // want `sync\.Cond\.Wait with a second lock held while muA is locked` `sync\.Cond\.Wait with a second lock held while muC is locked`
+	}
+	muC.Unlock()
+	muA.Unlock()
+}
+
+// --- interprocedural: the cycle only closes through callee summaries --------
+
+var (
+	muD sync.Mutex
+	muE sync.Mutex
+)
+
+func helperD() {
+	muD.Lock()
+	work(4)
+	muD.Unlock()
+}
+
+func helperE() {
+	muE.Lock()
+	work(5)
+	muE.Unlock()
+}
+
+// deOrder and edOrder never touch the second mutex directly: the opposing
+// edges (and the cycle) exist only through the Locks summary facet, so both
+// reports vanish without summaries (TestInterproceduralDelta).
+func deOrder() {
+	muD.Lock()
+	helperE() // want `lock-order cycle: lockorder\.muE is acquired while lockorder\.muD is held`
+	muD.Unlock()
+}
+
+func edOrder() {
+	muE.Lock()
+	helperD() // want `lock-order cycle: lockorder\.muD is acquired while lockorder\.muE is held`
+	muE.Unlock()
+}

@@ -24,3 +24,20 @@ func typoDirective(a, b float64) bool {
 	//lint:ignore floateqq fixture: misspelled analyzer name
 	return a != b
 }
+
+// usedConcurrency suppresses a real goleak finding: the loop below has no
+// termination tie by construction.
+func usedConcurrency() {
+	//lint:ignore goleak fixture: intentionally untied goroutine
+	go func() {
+		for {
+		}
+	}()
+}
+
+// staleConcurrency names the lockorder analyzer but holds no lock across
+// the send, so the directive matches nothing.
+func staleConcurrency(ch chan int) {
+	//lint:ignore lockorder fixture: nothing is locked here
+	ch <- 1
+}

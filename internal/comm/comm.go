@@ -622,6 +622,7 @@ func (w *World) Run(body func(c *Comm)) error {
 // context before ARD.Factor/SolveTo and clears it after, so cancellation
 // propagates into every nested Run without changing solver signatures. It
 // must be called while no Run is active.
+//lint:ignore ctxflow storing the ctx is this API's documented purpose: it scopes the next Run and is cleared by the caller afterwards.
 func (w *World) SetRunContext(ctx context.Context) { w.runCtx = ctx }
 
 // RunContext is Run bounded by ctx: if ctx is canceled or its deadline

@@ -204,6 +204,49 @@ func TestSetRunContextPropagates(t *testing.T) {
 	}
 }
 
+// TestRunContextMonitorDrains: every RunContext spawns one cancel-monitor
+// goroutine and must join it before returning, even when the run really is
+// canceled mid-flight. Repeated canceled runs on a reused World therefore
+// leave the goroutine count exactly where the warmed-up baseline put it; a
+// leak of one monitor per run shows up here as a monotonically growing
+// count.
+func TestRunContextMonitorDrains(t *testing.T) {
+	w := NewWorld(4)
+	defer w.Close()
+	// Warm the persistent workers (and watchdog) so the baseline includes
+	// every goroutine a healthy World keeps alive between runs.
+	if err := w.Run(func(c *Comm) {
+		c.Release(c.Exchange(c.Rank()^1, 1, []float64{1}))
+	}); err != nil {
+		t.Fatalf("warm-up run: %v", err)
+	}
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 25; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		err := w.RunContext(ctx, func(c *Comm) {
+			if c.Rank() == 1 {
+				cancel() // fire mid-run, from inside the run itself
+			}
+			if c.Rank() == 0 {
+				c.Release(c.Recv(2, 7)) // never sent: blocks until aborted
+			}
+		})
+		cancel()
+		if err != nil && !errors.Is(err, ErrCanceled) {
+			t.Fatalf("iteration %d: RunContext returned %v, want nil or ErrCanceled", i, err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("cancel monitors leaked: %d goroutines after 25 canceled runs, baseline %d", n, baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // TestWorldClose: Close must stop the persistent rank workers and watchdog
 // deterministically (no waiting on the garbage collector), and be
 // idempotent.

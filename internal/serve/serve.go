@@ -280,6 +280,7 @@ func New(cfg Config) *Server {
 		}
 		w.cond = sync.NewCond(&w.mu)
 		s.workers = append(s.workers, w)
+		//lint:ignore goleak loop exits when Close sets w.closed under w.mu and broadcasts w.cond; it closes w.done itself so close() can join it.
 		go w.loop()
 	}
 	return s
@@ -376,6 +377,7 @@ func (s *Server) admit(ctx context.Context, job Job) (*task, error) {
 	tctx, cancel := context.WithDeadline(ctx, deadline)
 	t := &task{
 		job: job, tenant: tenant, a: a, key: key,
+		//lint:ignore ctxflow the task IS the request: it carries its deadline ctx to the worker, and Submit defers t.cancel() on every outcome.
 		deadline: deadline, ctx: tctx, cancel: cancel,
 		done: make(chan outcome, 1), enqueued: time.Now(),
 	}
