@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-cold lint-sarif lint-stats lint-watch lint-concurrency test race bench bench-panel bench-baseline bench-compare verify chaos chaos-soak serve-chaos experiments experiments-quick ci clean
+.PHONY: all build vet lint lint-cold lint-sarif lint-stats lint-watch lint-concurrency lint-perf test race bench bench-panel bench-baseline bench-compare verify chaos chaos-soak serve-chaos experiments experiments-quick ci clean
 
 all: build vet lint test
 
@@ -38,6 +38,12 @@ lint-watch:
 # context flow) — a quick gate while working on the service stack.
 lint-concurrency:
 	$(GO) run ./cmd/blocktri-lint -analyzers goleak,lockorder,ctxflow ./...
+
+# Just the performance-contract quartet (escape, bounds-check, inlining,
+# assembly ABI). The first run invokes the Go toolchain for compiler
+# evidence (seconds); later runs replay the fact table from the cache.
+lint-perf:
+	$(GO) run ./cmd/blocktri-lint -analyzers perfescape,perfbce,perfinline,asmcheck ./...
 
 test:
 	$(GO) test ./...

@@ -104,6 +104,7 @@ func TestFormatFlagValidation(t *testing.T) {
 		{"sarif-out without sarif", []string{"-format", "text", "-sarif-out", "x.sarif", "./..."}, "-sarif-out requires sarif"},
 		{"multi-format sarif without sarif-out", []string{"-format", "text,sarif", "./..."}, "requires -sarif-out"},
 		{"watch with json", []string{"-watch", "-format", "json", "./..."}, "-watch supports only -format text"},
+		{"watch-full without watch", []string{"-watch-full", "./..."}, "-watch-full only modifies -watch"},
 		{"unknown in list", []string{"-format", "text,xml", "./..."}, "unknown format"},
 	}
 	for _, tc := range cases {
@@ -114,6 +115,122 @@ func TestFormatFlagValidation(t *testing.T) {
 			}
 			if !strings.Contains(stderr.String(), tc.want) {
 				t.Fatalf("stderr missing %q:\n%s", tc.want, stderr.String())
+			}
+		})
+	}
+}
+
+// TestWatchCompilerBackedSkip pins the watch-mode contract for the
+// compiler-backed analyzers: an edit that introduces both a floateq finding
+// and a perfescape escape surfaces only the floateq delta under plain
+// -watch (NeedsBuild analyzers are skipped), while -watch-full opts the
+// toolchain back in and surfaces the perfescape delta too.
+func TestWatchCompilerBackedSkip(t *testing.T) {
+	clean := `package p
+
+var sink any
+
+// Hot stays allocation-free here.
+//perf:hotpath
+func Hot(x float64) float64 { return x * 2 }
+
+// Near is fine.
+func Near(p, q float64) bool { return q-p < 1e-9 && p-q < 1e-9 }
+`
+	dirty := `package p
+
+var sink any
+
+// Hot boxes its argument now.
+//perf:hotpath
+func Hot(x float64) float64 {
+	sink = x
+	return x * 2
+}
+
+// Near compares exactly.
+func Near(p, q float64) bool { return p == q }
+`
+	for _, tc := range []struct {
+		name    string
+		args    []string
+		wantHot bool // perfescape delta expected
+	}{
+		{"watch-skips", []string{"-watch", "-watch-interval", "20ms", "./..."}, false},
+		{"watch-full-runs", []string{"-watch", "-watch-full", "-watch-interval", "20ms", "./..."}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			root := t.TempDir()
+			write := func(rel, src string) {
+				t.Helper()
+				if err := os.WriteFile(filepath.Join(root, rel), []byte(src), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := os.MkdirAll(filepath.Join(root, "p"), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			write("go.mod", "module fixturemod\n\ngo 1.22\n")
+			write(filepath.Join("p", "p.go"), clean)
+
+			oldWD, err := os.Getwd()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Chdir(root); err != nil {
+				t.Fatal(err)
+			}
+			restoreWD := func() {
+				if err := os.Chdir(oldWD); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			testWatch = &watchHooks{stop: make(chan struct{}), iterated: make(chan struct{}, 64)}
+			defer func() { testWatch = nil }()
+
+			var stdout, stderr syncBuffer
+			done := make(chan int, 1)
+			go func() {
+				done <- run(tc.args, &stdout, &stderr)
+			}()
+
+			waitFor := func(buf *syncBuffer, substr string) {
+				t.Helper()
+				deadline := time.Now().Add(15 * time.Second)
+				for time.Now().Before(deadline) {
+					if strings.Contains(buf.String(), substr) {
+						return
+					}
+					select {
+					case <-testWatch.iterated:
+					case <-time.After(100 * time.Millisecond):
+					}
+				}
+				close(testWatch.stop)
+				<-done
+				restoreWD()
+				t.Fatalf("timed out waiting for %q\nstdout:\n%s\nstderr:\n%s", substr, stdout.String(), stderr.String())
+			}
+
+			waitFor(&stderr, "watching")
+			write(filepath.Join("p", "p.go"), dirty)
+			// The floateq delta proves the edit's iteration completed in both
+			// modes, so the absence of a perfescape delta below is a real
+			// skip, not a not-yet-polled race.
+			waitFor(&stdout, "[floateq]")
+			if tc.wantHot {
+				waitFor(&stdout, "[perfescape]")
+			}
+
+			close(testWatch.stop)
+			code := <-done
+			restoreWD()
+			if code != 0 {
+				t.Fatalf("watch exited %d\nstderr:\n%s", code, stderr.String())
+			}
+			if !tc.wantHot && strings.Contains(stdout.String(), "[perfescape]") {
+				t.Fatalf("-watch without -watch-full ran a compiler-backed analyzer:\n%s", stdout.String())
 			}
 		})
 	}

@@ -7,7 +7,12 @@
 // conformance of mat call sites), plus the concurrency-safety trio: goleak
 // (goroutines with no termination tie), lockorder (lock-order cycles and
 // blocking while locked) and ctxflow (context forwarding and cancel
-// obligations). The flow-sensitive analyzers consult interprocedural
+// obligations), plus the performance-contract layer: perfescape, perfbce
+// and perfinline check //perf: annotations against the compiler's own
+// escape/BCE/inlining evidence (one go build -gcflags='-m=2
+// -d=ssa/check_bce' per module, cached), and asmcheck verifies the
+// hand-written AVX-512 kernels against their Go declarations without any
+// build. The flow-sensitive analyzers consult interprocedural
 // function summaries computed bottom-up over a per-package call graph;
 // -interprocedural=false turns the layer off. Lint:ignore directives are
 // themselves audited (the "suppress" pseudo-analyzer) when the full suite
@@ -94,7 +99,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	checkSup := fs.Bool("suppress", true, "audit lint:ignore directives for typos and staleness (full-suite runs only)")
 	cacheDir := fs.String("cache-dir", "", "persistent cache directory (default <module>/.blocktri-lint-cache)")
 	noCache := fs.Bool("no-cache", false, "disable the persistent cache: analyze everything, persist nothing")
-	watch := fs.Bool("watch", false, "keep running: poll the module for changes, re-lint incrementally, print finding deltas")
+	watch := fs.Bool("watch", false, "keep running: poll the module for changes, re-lint incrementally, print finding deltas (compiler-backed analyzers are skipped; see -watch-full)")
+	watchFull := fs.Bool("watch-full", false, "with -watch, also run the compiler-backed analyzers (perfescape, perfbce, perfinline); each changed-tree poll may then invoke the Go toolchain")
 	watchInterval := fs.Duration("watch-interval", 500*time.Millisecond, "polling interval for -watch")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -124,6 +130,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *watch && (formats["json"] || formats["sarif"]) {
 		fmt.Fprintln(stderr, "blocktri-lint: -watch supports only -format text")
+		return 2
+	}
+	if *watchFull && !*watch {
+		fmt.Fprintln(stderr, "blocktri-lint: -watch-full only modifies -watch")
 		return 2
 	}
 
@@ -172,6 +182,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	allRan := true
 	for _, a := range analyzers {
 		if !*enabled[a.Name] {
+			allRan = false
+			continue
+		}
+		// Watch mode polls at sub-second intervals; analyzers that invoke
+		// the toolchain (NeedsBuild) would turn every changed-tree poll into
+		// a go build. They stay out of the loop unless -watch-full opts in.
+		if *watch && !*watchFull && a.NeedsBuild {
 			allRan = false
 			continue
 		}
@@ -309,6 +326,9 @@ func printStats(stderr io.Writer, res *analysis.RunResult) {
 	default:
 		fmt.Fprintf(stderr, "blocktri-lint: cache: %s: %d package(s), %d hit(s), %d miss(es), %d evicted, %d write error(s)\n",
 			c.Dir, c.Packages, c.Hits, c.Misses, c.Evicted, c.WriteErrors)
+	}
+	if c.FactsHits+c.FactsMisses > 0 {
+		fmt.Fprintf(stderr, "blocktri-lint: compiler facts: %d cache hit(s), %d toolchain run(s)\n", c.FactsHits, c.FactsMisses)
 	}
 	s := res.Summary
 	fmt.Fprintf(stderr, "blocktri-lint: summaries: %d function(s), %d call edge(s), %d SCC(s) (largest %d), %d fixpoint iteration(s) across %d package(s)\n",

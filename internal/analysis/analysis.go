@@ -57,7 +57,12 @@ type Analyzer struct {
 	// positives, reworded messages — so stale cached findings cannot be
 	// replayed for the new logic.
 	Version int
-	Run     func(m *Module) []Finding
+	// NeedsBuild marks analyzers whose evidence comes from invoking the Go
+	// toolchain (compilerfacts.go). The driver's -watch mode skips them
+	// unless -watch-full is given, and the toolchain-free perf baselines
+	// exclude them.
+	NeedsBuild bool
+	Run        func(m *Module) []Finding
 }
 
 // Analyzers returns the full analyzer suite in stable order.
@@ -77,6 +82,10 @@ func Analyzers() []*Analyzer {
 		goLeakAnalyzer,
 		lockOrderAnalyzer,
 		ctxFlowAnalyzer,
+		perfEscapeAnalyzer,
+		perfBCEAnalyzer,
+		perfInlineAnalyzer,
+		asmCheckAnalyzer,
 	}
 }
 
@@ -85,6 +94,10 @@ type pass struct {
 	m        *Module
 	name     string
 	findings []Finding
+	// factsFailed records that the compiler-fact provider errored during
+	// this pass (perfcontract.go); the pass stops rather than repeating the
+	// same module-wide error at every annotation.
+	factsFailed bool
 }
 
 func (p *pass) reportf(pos token.Pos, format string, args ...any) {

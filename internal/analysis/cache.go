@@ -9,6 +9,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -42,7 +43,11 @@ import (
 // cacheSchemaVersion is baked into both the entry payload and the run
 // configuration hash. Bump it whenever the entry format or the meaning of
 // any cached field changes; old entries then miss and are swept.
-const cacheSchemaVersion = 3
+//
+// v4: package keys cover assembly files, the run configuration covers
+// GOARCH, and the directory gains a module-wide compiler-fact entry
+// (factsEntry) keyed on toolchain version + GOARCH + flags + tree hash.
+const cacheSchemaVersion = 4
 
 // DefaultCacheDir returns the default persistent cache location for a
 // module root: <root>/.blocktri-lint-cache.
@@ -70,6 +75,162 @@ func openCache(dir, config string) (*cache, error) {
 func (c *cache) entryFileName(pkgPath string) string {
 	sum := sha256.Sum256([]byte(pkgPath))
 	return c.config[:12] + "-" + hex.EncodeToString(sum[:8]) + ".json"
+}
+
+// factsEntry is the on-disk record of one whole-module compiler-fact table
+// (compilerfacts.go). Unlike package entries it is not content-chained per
+// package: compiler diagnostics for a package can change when anything in
+// its import closure changes, so the entry is keyed on a digest of the
+// entire tree plus everything about the toolchain that shapes the
+// diagnostics — go version, GOARCH and the exact -gcflags payload. Any
+// mismatch is a miss and the facts are recomputed by invoking the
+// toolchain (cheap when go's own build cache is warm, one real build when
+// not).
+type factsEntry struct {
+	Schema    int          `json:"schema"`
+	GoVersion string       `json:"go_version"`
+	GOARCH    string       `json:"goarch"`
+	Flags     string       `json:"flags"`
+	TreeHash  string       `json:"tree_hash"`
+	Escapes   []cachedDiag `json:"escapes,omitempty"`
+	Bounds    []cachedDiag `json:"bounds,omitempty"`
+	Inlines   []cachedInl  `json:"inlines,omitempty"`
+}
+
+// cachedDiag is one FactDiag with its file made root-relative.
+type cachedDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"msg"`
+}
+
+// cachedInl is one InlineFact with its file made root-relative.
+type cachedInl struct {
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	CanInline bool   `json:"can_inline"`
+	Cost      int    `json:"cost,omitempty"`
+	Budget    int    `json:"budget,omitempty"`
+	Reason    string `json:"reason,omitempty"`
+}
+
+// factsFileName is the facts entry's name under the current configuration
+// prefix, so different configurations' fact tables coexist like their
+// package entries do.
+func (c *cache) factsFileName() string {
+	return c.config[:12] + "-facts.json"
+}
+
+// loadFacts reads and validates the facts entry against the current
+// toolchain and tree. Every failure mode is a plain miss.
+func (c *cache) loadFacts(root, treeHash string) (*CompilerFacts, bool) {
+	data, err := os.ReadFile(filepath.Join(c.dir, c.factsFileName()))
+	if err != nil {
+		return nil, false
+	}
+	var e factsEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	if e.Schema != cacheSchemaVersion || e.GoVersion != runtime.Version() ||
+		e.GOARCH != runtime.GOARCH || e.Flags != factsGCFlags || e.TreeHash != treeHash {
+		return nil, false
+	}
+	cf := &CompilerFacts{
+		GoVersion: e.GoVersion,
+		GOARCH:    e.GOARCH,
+		Flags:     e.Flags,
+		escapes:   make(map[string][]FactDiag),
+		bounds:    make(map[string][]FactDiag),
+		inlines:   make(map[string][]InlineFact),
+	}
+	abs := func(file string) string {
+		name := filepath.FromSlash(file)
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(root, name)
+		}
+		return name
+	}
+	for _, d := range e.Escapes {
+		f := abs(d.File)
+		cf.escapes[f] = append(cf.escapes[f], FactDiag{File: f, Line: d.Line, Col: d.Col, Message: d.Message})
+	}
+	for _, d := range e.Bounds {
+		f := abs(d.File)
+		cf.bounds[f] = append(cf.bounds[f], FactDiag{File: f, Line: d.Line, Col: d.Col, Message: d.Message})
+	}
+	for _, d := range e.Inlines {
+		f := abs(d.File)
+		cf.inlines[f] = append(cf.inlines[f], InlineFact{File: f, Line: d.Line, CanInline: d.CanInline, Cost: d.Cost, Budget: d.Budget, Reason: d.Reason})
+	}
+	return cf, true
+}
+
+// storeFacts persists a fact table atomically (best-effort, like store).
+func (c *cache) storeFacts(root, treeHash string, cf *CompilerFacts) error {
+	e := factsEntry{
+		Schema:    cacheSchemaVersion,
+		GoVersion: cf.GoVersion,
+		GOARCH:    cf.GOARCH,
+		Flags:     cf.Flags,
+		TreeHash:  treeHash,
+	}
+	rel := func(file string) string { return filepath.ToSlash(relToRoot(root, file)) }
+	for _, diags := range sortedDiagFiles(cf.escapes) {
+		for _, d := range diags {
+			e.Escapes = append(e.Escapes, cachedDiag{File: rel(d.File), Line: d.Line, Col: d.Col, Message: d.Message})
+		}
+	}
+	for _, diags := range sortedDiagFiles(cf.bounds) {
+		for _, d := range diags {
+			e.Bounds = append(e.Bounds, cachedDiag{File: rel(d.File), Line: d.Line, Col: d.Col, Message: d.Message})
+		}
+	}
+	files := make([]string, 0, len(cf.inlines))
+	for f := range cf.inlines {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		for _, d := range cf.inlines[f] {
+			e.Inlines = append(e.Inlines, cachedInl{File: rel(d.File), Line: d.Line, CanInline: d.CanInline, Cost: d.Cost, Budget: d.Budget, Reason: d.Reason})
+		}
+	}
+	data, err := json.Marshal(&e)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, filepath.Join(c.dir, c.factsFileName()))
+}
+
+// sortedDiagFiles returns a diag map's slices in file order, so entry bytes
+// are deterministic.
+func sortedDiagFiles(m map[string][]FactDiag) [][]FactDiag {
+	files := make([]string, 0, len(m))
+	for f := range m {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	out := make([][]FactDiag, 0, len(files))
+	for _, f := range files {
+		out = append(out, m[f])
+	}
+	return out
 }
 
 // cacheEntry is the on-disk record of one analyzed package.

@@ -282,6 +282,154 @@ func TestCacheEvictsDeletedPackages(t *testing.T) {
 	}
 }
 
+// factsFixtureFiles is a one-package module whose //perf:hotpath annotation
+// forces the compiler-fact provider to run: the boxing in Hot is a real
+// heap escape, so perfescape must report exactly one raw finding and the
+// persistent cache must carry the fact table between runs.
+var factsFixtureFiles = map[string]string{
+	"go.mod": "module factsmod\n\ngo 1.22\n",
+	"hot/hot.go": `package hot
+
+var sink any
+
+// Hot boxes its argument on every call.
+//perf:hotpath
+func Hot(x float64) {
+	sink = x
+}
+`,
+}
+
+// TestCacheFactsLifecycle pins the facts entry's whole lifecycle: computed
+// once cold, untouched (not even requested) on a warm run, surviving the
+// sweep, invalidated by a tree edit, and re-requested — served from disk —
+// when a package entry alone is lost.
+func TestCacheFactsLifecycle(t *testing.T) {
+	root := writeFixtureModule(t, factsFixtureFiles)
+	opts := fixtureRunOptions(DefaultCacheDir(root))
+
+	cold := mustRunLint(t, root, opts)
+	if cold.Cache.FactsMisses != 1 || cold.Cache.FactsHits != 0 {
+		t.Fatalf("cold run facts counters: %+v (want exactly one toolchain run)", cold.Cache)
+	}
+	var escapes int
+	for _, f := range cold.Raw {
+		if f.Analyzer == "perfescape" {
+			escapes++
+		}
+	}
+	if escapes != 1 {
+		t.Fatalf("expected 1 perfescape finding, got %d: %v", escapes, cold.Raw)
+	}
+	c, err := openCache(opts.CacheDir, runConfigHash(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	factsPath := filepath.Join(opts.CacheDir, c.factsFileName())
+	if _, err := os.Stat(factsPath); err != nil {
+		t.Fatalf("facts entry not persisted: %v", err)
+	}
+
+	// Warm run: every package hits, so no analyzer sees a materialized
+	// package and the facts are never even requested — and the sweep must
+	// leave the entry in place for the next dirty run.
+	warm := mustRunLint(t, root, opts)
+	if warm.Cache.FactsHits != 0 || warm.Cache.FactsMisses != 0 {
+		t.Fatalf("warm run requested facts: %+v", warm.Cache)
+	}
+	if warm.Cache.Evicted != 0 {
+		t.Fatalf("warm sweep evicted files: %+v", warm.Cache)
+	}
+	if _, err := os.Stat(factsPath); err != nil {
+		t.Fatalf("facts entry swept on a warm run: %v", err)
+	}
+
+	// Losing just the package entry (facts intact, tree unchanged) must
+	// re-analyze the package with facts served from disk: a hit, no
+	// toolchain run.
+	if err := os.Remove(filepath.Join(opts.CacheDir, c.entryFileName("factsmod/hot"))); err != nil {
+		t.Fatal(err)
+	}
+	replay := mustRunLint(t, root, opts)
+	if replay.Cache.FactsHits != 1 || replay.Cache.FactsMisses != 0 {
+		t.Fatalf("entry-only loss did not replay facts from disk: %+v", replay.Cache)
+	}
+	if !reflect.DeepEqual(replay.Raw, cold.Raw) {
+		t.Fatalf("findings changed across the facts replay:\ncold: %v\nreplay: %v", cold.Raw, replay.Raw)
+	}
+
+	// Editing the tree invalidates the table (diagnostics may change with
+	// any dependency), so the toolchain runs again.
+	hotFile := filepath.Join(root, "hot", "hot.go")
+	src, err := os.ReadFile(hotFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(hotFile, append(src, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edited := mustRunLint(t, root, opts)
+	if edited.Cache.FactsMisses != 1 || edited.Cache.FactsHits != 0 {
+		t.Fatalf("tree edit did not invalidate the facts entry: %+v", edited.Cache)
+	}
+}
+
+// TestCacheFactsRelativeVersionEviction mirrors the package-entry upgrade
+// story for the facts table: an entry recorded under a different toolchain
+// version, GOARCH or schema never hits (the toolchain reruns), and a facts
+// file under another configuration's name is swept as dead weight.
+func TestCacheFactsRelativeVersionEviction(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(e map[string]any)
+	}{
+		{"go-version", func(e map[string]any) { e["go_version"] = "go0.0.1" }},
+		{"goarch", func(e map[string]any) { e["goarch"] = "never64" }},
+		{"schema", func(e map[string]any) { e["schema"] = cacheSchemaVersion - 1 }},
+		{"flags", func(e map[string]any) { e["flags"] = "-m=1" }},
+		{"tree-hash", func(e map[string]any) { e["tree_hash"] = "0000deadbeef" }},
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			root := writeFixtureModule(t, factsFixtureFiles)
+			opts := fixtureRunOptions(DefaultCacheDir(root))
+			mustRunLint(t, root, opts)
+
+			c, err := openCache(opts.CacheDir, runConfigHash(opts))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rewriteEntryJSON(t, filepath.Join(opts.CacheDir, c.factsFileName()), tc.mutate)
+			// Force the hot package dirty so the facts are requested again;
+			// the mutated entry must be rejected and recomputed.
+			if err := os.Remove(filepath.Join(opts.CacheDir, c.entryFileName("factsmod/hot"))); err != nil {
+				t.Fatal(err)
+			}
+			res := mustRunLint(t, root, opts)
+			if res.Cache.FactsHits != 0 || res.Cache.FactsMisses != 1 {
+				t.Fatalf("%s-mutated facts entry hit: %+v", tc.name, res.Cache)
+			}
+		})
+	}
+
+	// A facts file under another configuration's filename is never expected
+	// by this configuration's sweep and must be evicted.
+	root := writeFixtureModule(t, factsFixtureFiles)
+	opts := fixtureRunOptions(DefaultCacheDir(root))
+	mustRunLint(t, root, opts)
+	stray := filepath.Join(opts.CacheDir, "ffffffffffff-facts.json")
+	if err := os.WriteFile(stray, []byte(`{"schema":0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRunLint(t, root, opts)
+	if res.Cache.Evicted != 1 {
+		t.Fatalf("stray facts file not evicted: %+v", res.Cache)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatal("stray facts file still present after sweep")
+	}
+}
+
 // TestCacheUnusableDirDegrades points the cache at a path that cannot be a
 // directory: the run must proceed cold and report the degradation instead of
 // failing.

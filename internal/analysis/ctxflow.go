@@ -208,8 +208,8 @@ func isCancelCtor(name string) bool {
 func checkCancelObligation(rep *reporter, m *Module, info *types.Info, body *ast.BlockStmt) {
 	g := BuildCFG(body)
 	var sitesList []cancelSite
-	sites := make(map[*ast.AssignStmt]int)     // gen node -> site index
-	cancelObjs := make(map[types.Object]bool)  // tracked cancel variables
+	sites := make(map[*ast.AssignStmt]int)    // gen node -> site index
+	cancelObjs := make(map[types.Object]bool) // tracked cancel variables
 	for _, b := range g.Blocks {
 		for _, n := range b.Nodes {
 			a, ok := n.(*ast.AssignStmt)

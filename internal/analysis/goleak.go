@@ -84,7 +84,7 @@ func goLeakFunc(rep *reporter, m *Module, info *types.Info, decls map[*types.Fun
 	}
 
 	var sites []leakSite
-	nodeSites := make(map[ast.Node][]int)            // CFG node -> site indices generated there
+	nodeSites := make(map[ast.Node][]int)        // CFG node -> site indices generated there
 	obligedCalls := make(map[*ast.CallExpr]bool) // helper calls that create obligations
 	spawnLits := make(map[*ast.FuncLit]bool)     // goroutine bodies (their captures are the tie, not an escape)
 	addSite := func(n ast.Node, site leakSite) {

@@ -58,6 +58,17 @@ type Module struct {
 	// cache instead of recomputing them. A false return means "no valid
 	// entry" and the summaries are computed from source as usual.
 	sumLoader func(*Package) (pkgSummaries, SummaryStats, bool)
+
+	// Compiler-evidence fact state (compilerfacts.go). factsFn, when set by
+	// RunLint, serves the fact table through the persistent cache; otherwise
+	// CompilerFacts invokes the toolchain directly. hostRoot points a fixture
+	// module at the host module root so fixture facts can be built against
+	// the real packages. The computed table (or its error) is memoized.
+	factsFn   func(*Module) (*CompilerFacts, error)
+	hostRoot  string
+	facts     *CompilerFacts
+	factsErr  error
+	factsDone bool
 }
 
 // loader resolves imports: module-local paths against the packages loaded
@@ -197,6 +208,29 @@ func goFilesIn(dir string) ([]string, error) {
 	return out, nil
 }
 
+// asmFilesIn lists the assembly files in dir that match the host build
+// constraints (filename GOOS/GOARCH suffixes and //go:build lines), sorted
+// by name — the asmcheck inputs alongside goFilesIn's loader inputs.
+func asmFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".s") {
+			continue
+		}
+		if match, err := buildCtx.MatchFile(dir, name); err == nil && !match {
+			continue
+		}
+		out = append(out, filepath.Join(dir, name))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
 // newLazyModule scans the module under root (imports-only parses, content
 // hashes, dependency order — see scan.go) without materializing any
 // package. Callers pull packages in through ensurePackage as cache misses
@@ -316,6 +350,10 @@ func (m *Module) LoadFixture(dir, fixturePath string) (*Module, error) {
 		return nil, fmt.Errorf("analysis: type-checking fixture %s: %w", dir, err)
 	}
 	pkg.Dir = dir
+	hostRoot := m.hostRoot
+	if hostRoot == "" {
+		hostRoot = m.Root
+	}
 	return &Module{
 		Root:     dir,
 		Path:     fixturePath,
@@ -323,5 +361,6 @@ func (m *Module) LoadFixture(dir, fixturePath string) (*Module, error) {
 		Pkgs:     []*Package{pkg},
 		NoInterp: m.NoInterp,
 		loader:   m.loader,
+		hostRoot: hostRoot,
 	}, nil
 }

@@ -66,6 +66,12 @@ type CacheStats struct {
 	// counts entries that could not be persisted (best-effort, never fatal).
 	Evicted     int
 	WriteErrors int
+	// FactsHits / FactsMisses count compiler-fact table requests served from
+	// the persistent facts entry vs computed by invoking the toolchain. Both
+	// stay zero when no enabled analyzer requested facts (fully warm runs,
+	// or runs touching no annotated package).
+	FactsHits   int
+	FactsMisses int
 }
 
 // RunResult is the outcome of one RunLint call.
@@ -96,7 +102,10 @@ type RunResult struct {
 // key (scan.computeKeys) and prefixes every cache filename.
 func runConfigHash(opts RunOptions) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "schema\x00%d\x00go\x00%s\x00interp\x00%t\x00", cacheSchemaVersion, runtime.Version(), !opts.NoInterp)
+	// GOARCH is keyed alongside the toolchain version: compiler facts (and
+	// asmcheck's file set, via the build-constraint filter) are
+	// architecture-dependent even for an identical tree.
+	fmt.Fprintf(h, "schema\x00%d\x00go\x00%s\x00goarch\x00%s\x00interp\x00%t\x00", cacheSchemaVersion, runtime.Version(), runtime.GOARCH, !opts.NoInterp)
 	for _, a := range opts.Analyzers {
 		fmt.Fprintf(h, "analyzer\x00%s\x00%d\x00", a.Name, a.Version)
 	}
@@ -145,6 +154,33 @@ func RunLint(root string, opts RunOptions) (*RunResult, error) {
 		}
 		dirty = append(dirty, sp)
 		res.Cache.Misses++
+	}
+
+	// Compiler facts flow through the persistent cache when one is attached:
+	// a table whose (go version, GOARCH, flags, tree hash) key matches
+	// replays from disk; otherwise the toolchain runs once and the result is
+	// stored. The closure only executes if some enabled analyzer actually
+	// asks (Module.CompilerFacts is lazy and memoized), so warm runs — whose
+	// analyzers see no materialized packages — never touch the toolchain.
+	m.factsFn = func(_ *Module) (*CompilerFacts, error) {
+		treeHash := sc.treeHash()
+		if c != nil {
+			if cf, ok := c.loadFacts(sc.Root, treeHash); ok {
+				res.Cache.FactsHits++
+				return cf, nil
+			}
+		}
+		cf, err := computeCompilerFacts(sc.Root)
+		if err != nil {
+			return nil, err
+		}
+		res.Cache.FactsMisses++
+		if c != nil {
+			if err := c.storeFacts(sc.Root, treeHash, cf); err != nil {
+				res.Cache.WriteErrors++
+			}
+		}
+		return cf, nil
 	}
 
 	// Clean packages materialized as dependencies of dirty ones rehydrate
@@ -224,7 +260,13 @@ func RunLint(root string, opts RunOptions) (*RunResult, error) {
 
 	// Merge findings and the structural summary totals in scan order, and
 	// build + persist entries for the dirty packages.
-	expected := make(map[string]bool, len(sc.Pkgs))
+	expected := make(map[string]bool, len(sc.Pkgs)+1)
+	if c != nil {
+		// The facts entry survives the sweep even when this run never
+		// requested facts: a stale table self-invalidates on its tree hash,
+		// and keeping it lets an annotation-only edit warm-hit the facts.
+		expected[c.factsFileName()] = true
+	}
 	for _, sp := range sc.Pkgs {
 		if c != nil {
 			expected[c.entryFileName(sp.Path)] = true

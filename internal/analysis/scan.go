@@ -42,8 +42,13 @@ type scanPackage struct {
 	Dir     string // absolute directory
 	PkgName string // package clause name
 	Files   []scanFile
-	Deps    []string // module-local imports, sorted, deduplicated
-	Key     string   // cache key; filled by computeKeys once the run config is known
+	// SFiles holds the package's assembly files (matched against the host
+	// build constraints like the .go files). They carry no imports and are
+	// never parsed by the loader, but they are analyzer input (asmcheck) and
+	// compiler input, so their content participates in the cache key.
+	SFiles []scanFile
+	Deps   []string // module-local imports, sorted, deduplicated
+	Key    string   // cache key; filled by computeKeys once the run config is known
 }
 
 // moduleScan is the dependency-ordered scan of a whole module.
@@ -155,6 +160,26 @@ func scanModule(root string) (*moduleScan, error) {
 				}
 			}
 		}
+		sNames, err := asmFilesIn(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range sNames {
+			src, err := os.ReadFile(name)
+			if err != nil {
+				return nil, err
+			}
+			relName, err := filepath.Rel(root, name)
+			if err != nil {
+				return nil, err
+			}
+			sp.SFiles = append(sp.SFiles, scanFile{
+				Name: name,
+				Rel:  filepath.ToSlash(relName),
+				Src:  src,
+				Hash: hashBytes(src),
+			})
+		}
 		for dep := range depSet {
 			sp.Deps = append(sp.Deps, dep)
 		}
@@ -221,6 +246,9 @@ func (sc *moduleScan) computeKeys(config string) {
 		for _, f := range sp.Files {
 			fmt.Fprintf(h, "file\x00%s\x00%s\x00", f.Rel, f.Hash)
 		}
+		for _, f := range sp.SFiles {
+			fmt.Fprintf(h, "sfile\x00%s\x00%s\x00", f.Rel, f.Hash)
+		}
 		for _, dep := range sp.Deps {
 			fmt.Fprintf(h, "dep\x00%s\x00%s\x00", dep, sc.ByPath[dep].Key)
 		}
@@ -254,6 +282,26 @@ func (sc *moduleScan) reverseClosure(paths []string) map[string]bool {
 func hashBytes(b []byte) string {
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
+}
+
+// treeHash digests the whole scanned source tree — go.mod plus every
+// package's Go and assembly file hashes, in scan order. It keys the
+// module-wide compiler-fact cache entry (cache.go): compiler diagnostics
+// for any package can change when any of its dependencies change, so facts
+// are cached at whole-tree granularity rather than chained per package.
+func (sc *moduleScan) treeHash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "gomod\x00%s\x00", sc.GoModHash)
+	for _, sp := range sc.Pkgs {
+		fmt.Fprintf(h, "pkg\x00%s\x00", sp.Path)
+		for _, f := range sp.Files {
+			fmt.Fprintf(h, "file\x00%s\x00%s\x00", f.Rel, f.Hash)
+		}
+		for _, f := range sp.SFiles {
+			fmt.Fprintf(h, "sfile\x00%s\x00%s\x00", f.Rel, f.Hash)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // WatchSignature is the cheap change probe behind the driver's -watch mode:
@@ -298,7 +346,12 @@ func WatchSignature(root string) (string, error) {
 			return nil
 		}
 		name := d.Name()
-		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		// .s files are analyzer input too (asmcheck), so an edited kernel
+		// must wake the watch loop like an edited .go file.
+		if !strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, ".s") {
 			return nil
 		}
 		return stamp(path)

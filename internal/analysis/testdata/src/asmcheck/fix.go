@@ -1,0 +1,37 @@
+// Package asmcheck exercises the assembly-contract analyzer: every TEXT
+// block in kern_amd64.s is verified against the declarations below (ABI0
+// frame layout, FP symbol offsets, NOSPLIT, VZEROUPPER discipline,
+// callee-saved registers), and the two directions of the stub/TEXT pairing
+// are both checked.
+package asmcheck
+
+// axpyOK is the fully conforming kernel: correct frame, offsets, NOSPLIT,
+// and no vector state left dirty.
+//
+//go:noescape
+func axpyOK(dst, x *float64, a float64)
+
+// badFrame's TEXT line declares the wrong argument size.
+//
+//go:noescape
+func badFrame(p *float64, n int) int
+
+// badOffset's body addresses its arguments at the wrong offsets.
+//
+//go:noescape
+func badOffset(p *float64, n int) int
+
+// dirtyVec is missing NOSPLIT, clobbers R15 and returns with dirty upper
+// ZMM state.
+//
+//go:noescape
+func dirtyVec(p *float64)
+
+// noEsc takes a pointer but is not marked go:noescape, so every buffer
+// passed to it is forced to the heap.
+func noEsc(p *float64, n int) // want `assembly stub noEsc takes pointers but is not marked //go:noescape`
+
+// missingBody has no TEXT block at all.
+//
+//go:noescape
+func missingBody(p *float64) int // want `assembly stub missingBody has no TEXT block in the package's .s files`

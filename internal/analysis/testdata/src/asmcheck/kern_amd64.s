@@ -1,0 +1,57 @@
+// Fixture kernels for the asmcheck analyzer. Each TEXT block pairs with a
+// declaration in fix.go; the want comments anchor the expected findings.
+// None of this is ever assembled or executed — testdata is outside the
+// module build — so the bodies only need to parse.
+
+#include "textflag.h"
+
+// The conforming kernel: frame $0-24 matches (dst, x *float64, a float64),
+// every FP reference resolves at its ABI0 offset, NOSPLIT is set, and only
+// X registers are touched so no VZEROUPPER is owed.
+TEXT ·axpyOK(SB), NOSPLIT, $0-24
+	MOVQ  dst+0(FP), DI
+	MOVQ  x+8(FP), SI
+	MOVSD a+16(FP), X0
+	MOVSD (SI), X1
+	MULSD X0, X1
+	ADDSD (DI), X1
+	MOVSD X1, (DI)
+	RET
+
+// (p *float64, n int) int needs 16 bytes of arguments plus an 8-byte
+// result: 24, not the declared 16.
+TEXT ·badFrame(SB), NOSPLIT, $0-16 // want `TEXT ·badFrame declares argument size 16 but the ABI0 layout of its Go signature needs 24 bytes`
+	MOVQ p+0(FP), DI
+	MOVQ n+8(FP), AX
+	RET
+
+TEXT ·badOffset(SB), NOSPLIT, $0-24
+	MOVQ p+0(FP), DI
+	MOVQ n+4(FP), CX // want `n\+4\(FP\) disagrees with the ABI0 layout: n lives at offset 8`
+	MOVQ m+16(FP), DX // want `m\+16\(FP\) does not name a parameter or result of ·badOffset`
+	RET
+
+// Three violations in one block: no NOSPLIT, a callee-saved clobber, and a
+// return with dirty upper ZMM state.
+TEXT ·dirtyVec(SB), $0-8 // want `TEXT ·dirtyVec is missing NOSPLIT`
+	MOVQ    p+0(FP), DI
+	VMOVUPD (DI), Z0
+	VADDPD  Z0, Z0, Z1
+	VMOVUPD Z1, (DI)
+	MOVQ    DI, R15 // want `MOVQ writes R15, the dynamic-linking scratch register`
+	RET // want `RET without VZEROUPPER in ·dirtyVec`
+
+// noEsc's block is clean; its finding is on the Go declaration, which lacks
+// go:noescape despite the pointer parameter.
+TEXT ·noEsc(SB), NOSPLIT, $0-16
+	MOVQ p+0(FP), DI
+	MOVQ n+8(FP), CX
+	RET
+
+// No declaration in fix.go pairs with this block.
+TEXT ·orphan(SB), NOSPLIT, $0-0 // want `TEXT ·orphan has no body-less Go declaration in package asmcheck`
+	RET
+
+// A TEXT directive the parser cannot understand must surface, not skip.
+TEXT ·mangled(SB) // want `unparseable TEXT directive`
+	RET

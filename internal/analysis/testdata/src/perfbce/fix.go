@@ -1,0 +1,42 @@
+// Package perfbce exercises the compiler-evidence bounds-check contract:
+// //perf:hotloop asserts the SSA backend eliminated every bounds check in
+// the loop, and the finding for a broken contract anchors on the annotation
+// line itself (so a lint:ignore directly above the annotation suppresses
+// the whole loop).
+package perfbce
+
+// Sum indexes xs with data-dependent values: the prover cannot bound i, so
+// one IsInBounds survives and the contract fails.
+func Sum(xs []float64, idx []int) float64 {
+	var s float64
+	//perf:hotloop // want `1 bounds check\(s\) survive in //perf:hotloop`
+	for _, i := range idx {
+		s += xs[i]
+	}
+	return s
+}
+
+// Scale ranges over the slice it indexes; the contract holds.
+func Scale(xs []float64, a float64) {
+	//perf:hotloop
+	for i := range xs {
+		xs[i] *= a
+	}
+}
+
+// Gather's indirection is the point; the surviving checks are acknowledged
+// by the directive above the annotation.
+func Gather(dst, src []float64, perm []int) {
+	//lint:ignore perfbce the permutation indirection is the point of the gather; callers validate perm
+	//perf:hotloop
+	for i, j := range perm {
+		dst[i] = src[j]
+	}
+}
+
+// Stray demonstrates the guard against annotations that guard nothing.
+func Stray(n int) int {
+	//perf:hotloop // want `//perf:hotloop is not directly above a for statement`
+	m := n * 2
+	return m
+}

@@ -1,0 +1,27 @@
+// Package perfinline exercises the compiler-evidence inlining contract:
+// //perf:inline asserts the compiler records a positive inlining verdict
+// for the annotated helper.
+package perfinline
+
+// Tiny is far under the inliner budget; the contract holds.
+//
+//perf:inline
+func Tiny(a, b int) int {
+	return a*64 + b
+}
+
+// opaque is deliberately kept out of the inliner so calls to it carry the
+// full call cost in the caller's inlining budget.
+//
+//go:noinline
+func opaque(x int) int {
+	return x + 1
+}
+
+// Big pays two full call costs and blows the budget: the compiler declines
+// with a cost-versus-budget verdict.
+//
+//perf:inline
+func Big(x int) int { // want `//perf:inline on Big but the compiler declines: cost \d+ exceeds budget \d+`
+	return opaque(x) + opaque(x+1)
+}

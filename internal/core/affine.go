@@ -68,6 +68,8 @@ func ComposeH(earlierH, laterS, laterH *mat.Matrix) *mat.Matrix {
 // packs every stored S once); the packed branch seeds the result with
 // laterH and adds the product total once, which rounds identically to the
 // fallback's product-then-add because IEEE addition commutes.
+//
+//perf:hotpath
 func composeHWS(ws *mat.Workspace, earlierH, laterS *mat.Matrix, sp mat.PackedA, laterH *mat.Matrix, bs []float64) *mat.Matrix {
 	if earlierH == nil {
 		return laterH
@@ -138,6 +140,8 @@ func decodeSMat(p []float64) *mat.Matrix {
 // one message with a single copy — no workspace-scratch staging and no
 // second copy inside Send. The send stays at the call site so the rank/tag
 // pairing of the butterfly remains visible in the scan loop itself.
+//
+//perf:hotpath
 func packHMat(c *comm.Comm, h *mat.Matrix) []float64 {
 	if h == nil {
 		buf := c.PayloadBuf(1)
@@ -147,6 +151,8 @@ func packHMat(c *comm.Comm, h *mat.Matrix) []float64 {
 	buf := c.PayloadBuf(3 + h.Rows*h.Cols)
 	buf[0], buf[1], buf[2] = 1, float64(h.Rows), float64(h.Cols)
 	k := 3
+	//lint:ignore perfbce the source and destination window checks per row are beyond the prover; buf is sized 3+Rows*Cols up front and k advances by Cols
+	//perf:hotloop
 	for i := 0; i < h.Rows; i++ {
 		copy(buf[k:k+h.Cols], h.Data[i*h.Stride:i*h.Stride+h.Cols])
 		k += h.Cols

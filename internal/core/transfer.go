@@ -77,6 +77,8 @@ func (e element) buildF(m int, bBlock *mat.Matrix) *mat.Matrix {
 
 // buildFInto is buildF with the result checked out of a workspace: the hot
 // per-solve path allocates nothing once the arena has warmed up.
+//
+//perf:hotpath
 func (e element) buildFInto(ws *mat.Workspace, m int, bBlock *mat.Matrix) *mat.Matrix {
 	// Only the bottom half must be zeroed: SolveTo overwrites the top half
 	// entirely, so a cleared checkout would scrub twice the necessary rows
@@ -128,6 +130,8 @@ func buildElementWS(ws *mat.Workspace, a *blocktri.Matrix, i int) (element, erro
 // fold and the recovery sweep) through this function so the two solvers
 // keep producing bit-identical solutions regardless of which GEMM kernel a
 // given shape dispatches to.
+//
+//perf:hotpath
 func applyT(ws *mat.Workspace, t *mat.Matrix, tp mat.PackedA, y, f, dst *mat.Matrix, m int, bs []float64) {
 	rhs := y.Cols
 	dTop := ws.View(dst, 0, 0, m, rhs)
@@ -155,6 +159,8 @@ func (e element) affine(m int, bBlock *mat.Matrix) Affine {
 // shapes the product seeds with H (or zero) and accumulates once, matching
 // the fallback's bits by commutativity of the final add. The result is
 // checked out of ws.
+//
+//perf:hotpath
 func applyPrefixState(ws *mat.Workspace, m int, s *mat.Matrix, sp mat.PackedA, h, x0 *mat.Matrix, bs []float64) *mat.Matrix {
 	if s == nil {
 		y := ws.Get(2*m, x0.Cols)

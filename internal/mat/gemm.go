@@ -41,8 +41,8 @@ const (
 // and never changes afterwards, so every pack and every kernel in a
 // process agree on the layout.
 const (
-	microMR  = 4
-	microNR  = 4
+	microMR   = 4
+	microNR   = 4
 	avxPanelW = 8
 )
 
@@ -80,6 +80,8 @@ func ParallelEnabled() bool { return parallelOn.Load() }
 
 // panelOK reports whether an m x k by k x n product takes the packed
 // register-blocked path. Single-column products always go through gemv.
+//
+//perf:inline
 func panelOK(m, k, n int) bool {
 	if n < 2 {
 		return false
@@ -97,6 +99,8 @@ func panelOK(m, k, n int) bool {
 // whether a shape is worth packing at all: MulAddPacked falls back to
 // plain GEMM exactly when this returns false, so gating a prepack on
 // PanelPacked keeps the packed and unpacked paths bit-identical.
+//
+//perf:inline
 func PanelPacked(m, k, n int) bool { return panelOK(m, k, n) }
 
 // packBuf holds the packed-operand scratch of one GEMM call (or the gather
@@ -112,6 +116,10 @@ var packPool struct {
 	free []*packBuf
 }
 
+// The pool-growth allocation below is amortized: it happens only until the
+// free list warms up, never steady-state.
+//
+//perf:coldpath
 func getPackBuf() *packBuf {
 	packPool.mu.Lock()
 	n := len(packPool.free)
@@ -133,6 +141,10 @@ func putPackBuf(pb *packBuf) {
 
 // ensureFloats grows buf to length n, reusing its backing array when it is
 // already large enough.
+// Growth is the sanctioned amortized allocation of the pack-buffer pool;
+// steady-state calls return buf[:n] without touching the allocator.
+//
+//perf:coldpath
 func ensureFloats(buf []float64, n int) []float64 {
 	if cap(buf) < n {
 		return make([]float64, n)
@@ -143,6 +155,8 @@ func ensureFloats(buf []float64, n int) []float64 {
 // GEMM computes dst = alpha*a*b + beta*dst, the general matrix-matrix
 // product. dst must be a.Rows x b.Cols and must not alias a or b; a.Cols
 // must equal b.Rows.
+//
+//perf:coldpath
 func GEMM(alpha float64, a, b *Matrix, beta float64, dst *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("mat: GEMM shape mismatch")
@@ -242,6 +256,8 @@ func gemmSerial(alpha float64, a, b, dst *Matrix, r0, r1 int) {
 
 // packedALen returns the packed size of rows [r0, r1) of a: full panelW
 // row panels (zero padded), k-major within each panel.
+//
+//perf:inline
 func packedALen(a *Matrix, r0, r1 int) int {
 	w := panelW
 	panels := (r1 - r0 + w - 1) / w
@@ -250,6 +266,8 @@ func packedALen(a *Matrix, r0, r1 int) int {
 
 // packedBLen returns the packed size of b: full panelW column panels
 // (zero padded), k-major within each panel.
+//
+//perf:inline
 func packedBLen(b *Matrix) int {
 	w := panelW
 	panels := (b.Cols + w - 1) / w
@@ -270,6 +288,8 @@ func packA(alpha float64, a *Matrix, r0, r1 int, pA []float64) {
 		rows := min(w, r1-ip)
 		for i := 0; i < rows; i++ {
 			row := a.Data[(ip+i)*a.Stride : (ip+i)*a.Stride+kk]
+			//lint:ignore perfbce the k-major scatter index idx+k*w+i is beyond the range prover; the panel is sized packedALen up front
+			//perf:hotloop
 			for k, v := range row {
 				pA[idx+k*w+i] = alpha * v
 			}
@@ -366,6 +386,8 @@ func microKernel(kk int, pa, pb []float64, w int, dst *Matrix, i0, j0, mr, nr in
 		c20, c21, c22, c23 float64
 		c30, c31, c32, c33 float64
 	)
+	//lint:ignore perfbce the two slice-to-array-pointer checks stand in for eight per-element checks; the packed panel layout guarantees k*w+4 elements
+	//perf:hotloop
 	for k := 0; k < kk; k++ {
 		ak := (*[microMR]float64)(pa[k*w:])
 		bk := (*[microNR]float64)(pb[k*w:])
@@ -407,6 +429,8 @@ func microKernel(kk int, pa, pb []float64, w int, dst *Matrix, i0, j0, mr, nr in
 // The packed B panels are shared read-only across workers; each worker
 // packs its own A band. Per-row reduction order matches the serial packed
 // path, so enabling parallelism never changes results.
+//
+//perf:coldpath
 func gemmParallel(alpha float64, a, b, dst *Matrix) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > a.Rows {
@@ -479,6 +503,8 @@ func (p PackedA) K() int { return p.k }
 
 // PackALen returns the buffer length PackAInto requires for an m x k
 // operand under the current panel width.
+//
+//perf:inline
 func PackALen(m, k int) int {
 	w := panelW
 	return (m + w - 1) / w * w * k
@@ -486,6 +512,8 @@ func PackALen(m, k int) int {
 
 // PackBLen returns the scratch length MulAddPacked needs to pack a k x n
 // right-hand operand under the current panel width.
+//
+//perf:inline
 func PackBLen(k, n int) int {
 	w := panelW
 	return (n + w - 1) / w * w * k
@@ -496,12 +524,15 @@ func PackBLen(k, n int) int {
 // of a's header: MulAddPacked falls back to plain GEMM through it on
 // shapes below the packed threshold, so a's backing data must outlive the
 // pack even though the header itself may be recycled.
+//
+//perf:hotpath
 func PackAInto(buf []float64, alpha float64, a *Matrix) PackedA {
 	need := PackALen(a.Rows, a.Cols)
 	if len(buf) < need {
 		panic("mat: PackAInto buffer too small")
 	}
 	packA(alpha, a, 0, a.Rows, buf[:need])
+	//lint:ignore perfescape the header copy is the documented one-time pack cost; MulAddPacked reads it without re-escaping
 	src := *a
 	return PackedA{rows: a.Rows, k: a.Cols, w: panelW, alpha: alpha, data: buf[:need], src: &src}
 }
@@ -520,6 +551,8 @@ func NewPackedA(alpha float64, a *Matrix) PackedA {
 // threshold fall back to plain GEMM on the recorded source operand, so the
 // result is bit-identical to GEMM(alpha, a, b, 1, dst) for every shape.
 // dst must be pa.Rows() x b.Cols and must not alias b.
+//
+//perf:hotpath
 func MulAddPacked(dst *Matrix, pa PackedA, b *Matrix, bScratch []float64) {
 	if !pa.Valid() {
 		panic("mat: MulAddPacked on zero PackedA")
@@ -539,6 +572,7 @@ func MulAddPacked(dst *Matrix, pa PackedA, b *Matrix, bScratch []float64) {
 	var pbuf *packBuf
 	if len(buf) < need {
 		pbuf = getPackBuf()
+		//lint:ignore perfescape inlined pool growth: allocates only until the pack pool warms up, then reuses
 		pbuf.b = ensureFloats(pbuf.b, need)
 		buf = pbuf.b
 	} else {
@@ -559,6 +593,8 @@ func MulAddPacked(dst *Matrix, pa PackedA, b *Matrix, bScratch []float64) {
 // operands are already packed, so workers slice the shared panels
 // read-only; bands snap to the panel width, keeping per-row reduction
 // order identical to the serial path.
+//
+//perf:coldpath
 func mulAddPackedParallel(pa PackedA, pB []float64, dst *Matrix) {
 	w := panelW
 	workers := runtime.GOMAXPROCS(0)

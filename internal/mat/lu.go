@@ -107,6 +107,8 @@ func (lu *LU) SolveTo(dst, b *Matrix) {
 // permutation, then forward substitution with unit-L, then back
 // substitution with U. b is the destination by design; no other aliasing
 // is involved.
+//
+//perf:hotpath
 func (lu *LU) SolveInPlace(b *Matrix) {
 	n := lu.factors.Rows
 	if b.Rows != n {
@@ -115,8 +117,13 @@ func (lu *LU) SolveInPlace(b *Matrix) {
 	f := lu.factors
 	r := b.Cols
 	// Apply P: the same row interchanges performed during elimination.
-	for k := 0; k < n; k++ {
-		if p := lu.Piv[k]; p != k {
+	// Ranging over Piv (always length n) lets the compiler drop the pivot
+	// load's bounds check; the row-slice extractions below still carry
+	// checks the prover cannot remove without seeing Stride*k+r <= len.
+	//lint:ignore perfbce the two row-slice extraction checks per swapped row are unprovable without exposing the Stride invariant
+	//perf:hotloop
+	for k, p := range lu.Piv {
+		if p != k {
 			rk := b.Data[k*b.Stride : k*b.Stride+r]
 			rp := b.Data[p*b.Stride : p*b.Stride+r]
 			for j := 0; j < r; j++ {
@@ -169,11 +176,15 @@ func (lu *LU) SolveInPlace(b *Matrix) {
 // substituteWide runs the forward/back substitution of SolveInPlace with
 // an 8-wide FMA head on every row update (scalar tail for r mod 8).
 // Only called when vecAxpy is set and r >= 8.
+//
+//perf:hotpath
 func (lu *LU) substituteWide(b *Matrix, r int) {
 	f := lu.factors
 	n := f.Rows
 	n8 := r &^ 7
 	// Forward substitution: L y = P b with unit diagonal.
+	//lint:ignore perfbce the surviving checks are the per-row panel extractions and the scalar tail; the 8-wide body runs in axpyAsm with no checks at all
+	//perf:hotloop
 	for i := 1; i < n; i++ {
 		bi := b.Data[i*b.Stride : i*b.Stride+r]
 		for k := 0; k < i; k++ {

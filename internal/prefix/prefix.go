@@ -58,7 +58,10 @@ func (s Schedule) String() string {
 
 // ScanSlice computes the inclusive prefix of items in place:
 // items[i] becomes op(items[0], ..., items[i]).
+//
+//perf:hotpath
 func ScanSlice[T any](items []T, op Op[T]) {
+	//perf:hotloop
 	for i := 1; i < len(items); i++ {
 		items[i] = op(items[i-1], items[i])
 	}
@@ -73,11 +76,14 @@ func ScanSliceCopy[T any](items []T, op Op[T]) []T {
 }
 
 // Reduce combines all items left to right; it panics on an empty slice.
+//
+//perf:hotpath
 func Reduce[T any](items []T, op Op[T]) T {
 	if len(items) == 0 {
 		panic("prefix: Reduce of empty slice")
 	}
 	acc := items[0]
+	//perf:hotloop
 	for _, it := range items[1:] {
 		acc = op(acc, it)
 	}
@@ -221,6 +227,8 @@ func ScanRanks[T any](c *comm.Comm, val T, op Op[T], codec Codec[T], sched Sched
 
 // Rounds returns the number of communication rounds the schedule takes on
 // p ranks (the latency term of the cost model).
+//
+//perf:inline
 func Rounds(sched Schedule, p int) int {
 	switch sched {
 	case KoggeStone:
@@ -234,6 +242,7 @@ func Rounds(sched Schedule, p int) int {
 	}
 }
 
+//perf:inline
 func ceilLog2(p int) int {
 	n, v := 0, 1
 	for v < p {

@@ -10,6 +10,13 @@ go vet ./...
 # default — only packages whose content or dependencies changed since the
 # last run are re-analyzed (.blocktri-lint-cache/; -no-cache forces cold).
 go run ./cmd/blocktri-lint -format text,sarif -sarif-out reports/lint.sarif ./...
+# Performance-contract pass, archived on its own: just the compiler-evidence
+# quartet (perfescape, perfbce, perfinline, asmcheck), so code scanning gets
+# a report scoped to the perf contracts next to the full-suite one. The
+# full-suite run above already computed and cached the compiler fact table,
+# so this pass replays it instead of re-invoking the toolchain.
+go run ./cmd/blocktri-lint -analyzers perfescape,perfbce,perfinline,asmcheck \
+	-format text,sarif -sarif-out reports/lint-perf.sarif ./...
 go test ./...
 go test -race ./...
 # Chaos smoke: a fixed-seed fault-injection campaign over every solver.
